@@ -1,0 +1,24 @@
+"""Ablation: CBWS history depth (Section IV-C).
+
+Paper: "we have found that a history of 4 differentials provides
+sufficient performance" — a 1-deep predictor loses the multi-step
+lookahead that hides the BLOCK_END timing constraint.
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_ablation_history_depth(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_history_depth(runner, values=[1, 2, 4]),
+        rounds=1, iterations=1,
+    )
+    publish(results_dir, "ablation_history_depth", result.render())
+
+    # Deeper history must help the block-structured showcases.
+    for workload in ("stencil-default", "sgemm-medium"):
+        assert result.ipc[workload][4] > result.ipc[workload][1], (
+            f"{workload}: depth-4 should beat depth-1"
+        )

@@ -1,0 +1,27 @@
+"""Ablation: differential history table capacity (Section VII-A).
+
+Paper: for fft/streamcluster "the history table is too small to
+represent a meaningful CBWS differential history".  Growing the table
+should narrow fft's gap; the regular kernels should not need it.
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_ablation_table_size(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_table_size(runner, values=[4, 16, 64]),
+        rounds=1, iterations=1,
+    )
+    publish(results_dir, "ablation_table_size", result.render())
+
+    # The regular kernels are insensitive: 16 entries already suffice,
+    # so 64 gains little over 16 (< 10%).
+    for workload in ("stencil-default", "sgemm-medium"):
+        ipc16 = result.ipc[workload][16]
+        ipc64 = result.ipc[workload][64]
+        assert ipc64 < ipc16 * 1.10, (
+            f"{workload}: regular kernels should not need a bigger table"
+        )

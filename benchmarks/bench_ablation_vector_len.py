@@ -1,0 +1,39 @@
+"""Ablation: CBWS buffer capacity + the Section IV-A 16-line claim.
+
+Paper: "16 lines are sufficient to map the entire working set of over
+98% of the dynamic code blocks", and bzip2 — whose blocks read larger
+buffers — is the one benchmark hurt by the cap, yet "increasing the
+number of differentials is not justified".
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_working_set_claim(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.working_set_claim(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "working_set_claim", result.render())
+    assert result.overall_fraction > 0.95, (
+        f"only {result.overall_fraction:.1%} of dynamic blocks fit 16 lines"
+    )
+    # bzip2 is the designed outlier.
+    assert result.distributions["401.bzip2-source"].fraction_within(16) < 0.5
+
+
+def bench_ablation_vector_members(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_vector_members(runner, values=[8, 16, 32]),
+        rounds=1, iterations=1,
+    )
+    publish(results_dir, "ablation_vector_members", result.render())
+
+    # bzip2 (24-line blocks) benefits from a 32-entry buffer...
+    bzip2 = result.ipc["401.bzip2-source"]
+    assert bzip2[32] >= bzip2[16]
+    # ...while the regular kernels do not need more than 16 (the paper's
+    # justification for not growing the buffer).
+    stencil = result.ipc["stencil-default"]
+    assert stencil[32] < stencil[16] * 1.10

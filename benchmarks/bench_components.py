@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the hot simulator components.
+
+These time the structures every grid simulation leans on — useful for
+keeping the pure-Python model fast enough to sweep all 30 benchmarks.
+"""
+
+from repro.core.predictor import CbwsConfig, CbwsPredictor
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.prefetchers.base import DemandInfo
+from repro.prefetchers.ghb import GhbConfig, GhbPrefetcher
+from repro.prefetchers.sms import SmsPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+
+def bench_cache_access_throughput(benchmark):
+    cache = SetAssociativeCache(
+        CacheConfig(name="L2", size_bytes=128 * 1024, associativity=8)
+    )
+    lines = [(line * 37) & 0x3FFF for line in range(4096)]
+
+    def run():
+        for line in lines:
+            if not cache.access(line):
+                cache.insert(line)
+
+    benchmark(run)
+
+
+def bench_cbws_predictor_throughput(benchmark):
+    predictor = CbwsPredictor(CbwsConfig())
+    blocks = [
+        [80, 81, 6515 + 1024 * n, 4467 + 1024 * n, 5499 + 1024 * n]
+        for n in range(64)
+    ]
+
+    def run():
+        for block in blocks:
+            predictor.block_begin(0)
+            for line in block:
+                predictor.memory_access(line)
+            predictor.block_end()
+
+    benchmark(run)
+
+
+def _accesses(count):
+    return [
+        DemandInfo(
+            pc=0x400000 + (k % 8) * 16,
+            line=k * 16,
+            address=k * 1024,
+            is_write=False,
+            l1_hit=False,
+            l2_hit=False,
+        )
+        for k in range(count)
+    ]
+
+
+def bench_stride_throughput(benchmark):
+    infos = _accesses(2048)
+
+    def run():
+        prefetcher = StridePrefetcher()
+        for info in infos:
+            prefetcher.on_access(info)
+
+    benchmark(run)
+
+
+def bench_ghb_pcdc_throughput(benchmark):
+    infos = _accesses(2048)
+
+    def run():
+        prefetcher = GhbPrefetcher(GhbConfig(mode="pc"))
+        for info in infos:
+            prefetcher.on_access(info)
+
+    benchmark(run)
+
+
+def bench_sms_throughput(benchmark):
+    infos = _accesses(2048)
+
+    def run():
+        prefetcher = SmsPrefetcher()
+        for info in infos:
+            prefetcher.on_access(info)
+        for info in infos[::7]:
+            prefetcher.on_l1_eviction(info.line)
+
+    benchmark(run)

@@ -1,0 +1,31 @@
+"""Extension: the AMPM prefetcher (related work, Section III-A).
+
+The paper's related-work argument, made measurable: AMPM's zone-local
+bitmap matching covers dense streams as well as anyone, but loops whose
+iterations stride across zones (the CBWS showcases) defeat it — it has
+"no notion of code blocks".
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_extension_ampm(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.extension_ampm(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "extension_ampm", result.render())
+
+    grid = result.grid
+    # Dense streaming: AMPM clearly covers it (its degree-4 lookahead is
+    # shallower than SMS's whole-region streaming, so it trails SMS).
+    libquantum_ampm = grid.get("462.libquantum-ref", "ampm").ipc
+    libquantum_none = grid.get("462.libquantum-ref", "no-prefetch").ipc
+    assert libquantum_ampm > 2.0 * libquantum_none
+
+    # Cross-zone block strides: the CBWS hybrid stays ahead of AMPM.
+    for workload in ("stencil-default", "sgemm-medium"):
+        assert grid.get(workload, "cbws+sms").ipc > grid.get(
+            workload, "ampm"
+        ).ipc, workload

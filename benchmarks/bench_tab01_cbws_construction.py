@@ -1,0 +1,20 @@
+"""Table I / Figures 3-4: CBWS construction and differential example.
+
+Paper: the stencil's innermost loop produces CBWS vectors whose
+element-wise differentials are one constant stride vector.
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_table1(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.table1(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "table01_cbws_construction", result.render())
+    assert len(result.cbws_vectors) == 8
+    assert result.constant_differential, (
+        "stencil differentials must collapse to one constant vector"
+    )

@@ -1,0 +1,25 @@
+"""Table III: hardware storage requirements of the evaluated prefetchers.
+
+Paper: Stride 2.25 KB, GHB G/DC 2.25 KB, GHB PC/DC 3.75 KB, SMS ~5 KB,
+CBWS < 1 KB (we measure ~1.1 KB for the full Figure 8 bill of materials;
+see EXPERIMENTS.md for the accounting difference).
+"""
+
+import pytest
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_table3(benchmark, results_dir):
+    result = benchmark.pedantic(experiments.table3, rounds=5, iterations=1)
+    publish(results_dir, "table03_storage", result.render())
+
+    estimates = result.estimates
+    assert estimates["stride"].kilobytes == pytest.approx(2.25)
+    assert estimates["ghb-g/dc"].kilobytes == pytest.approx(2.25)
+    assert estimates["ghb-pc/dc"].kilobytes == pytest.approx(3.75)
+    assert 4.5 <= estimates["sms"].kilobytes <= 6.5
+    assert estimates["cbws"].kilobytes < 1.3
+    assert estimates["cbws"].bits == min(e.bits for e in estimates.values())

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` target regenerates one table or figure of the paper.
+The fixtures share a single :class:`GridRunner` per session so traces
+and grid cells are computed once, and each bench writes its rendered
+rows to ``results/<target>.txt`` next to this directory.
+
+The trace budget can be scaled with ``REPRO_BENCH_BUDGET`` (default 1.0,
+the full reduced-scale budget; use e.g. 0.2 for a quick pass).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import GridRunner
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> GridRunner:
+    budget = float(os.environ.get("REPRO_BENCH_BUDGET", "1.0"))
+    return GridRunner(budget_fraction=budget)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, rendered: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    print()
+    print(rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")

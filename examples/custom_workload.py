@@ -1,0 +1,103 @@
+"""Custom workload: bring your own loop and see what CBWS does with it.
+
+Defines a kernel the paper never evaluated — a banded sparse
+matrix-vector product with a *diagonal* traversal — and studies it with
+the library's analysis tools before racing the prefetchers:
+
+1. working-set size distribution (does it fit the 16-line buffer?);
+2. differential skew (is there anything for the history table to learn?);
+3. the simulated scoreboard.
+
+Use this file as the template for experimenting with your own kernels.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import REDUCED_CONFIG, PAPER_PREFETCHER_ORDER, make_prefetcher, simulate
+from repro.analysis import differential_distribution, working_set_distribution
+from repro.ir import (
+    ArrayDecl,
+    Compute,
+    ExecutionLimits,
+    For,
+    Kernel,
+    Load,
+    Store,
+    c,
+    run_kernel,
+    v,
+)
+from repro.passes import annotate_tight_loops
+
+
+def build_kernel() -> Kernel:
+    """A 5-band matrix walked diagonal-by-diagonal.
+
+    Each innermost iteration gathers the five band values of one row —
+    five lines spaced a row apart, advancing by one row per iteration:
+    a CBWS-shaped pattern that no fixed-region prefetcher can span.
+    """
+    n = 384
+    bands = 5
+    i, b = v("i"), v("b")
+    body = [
+        For("i", 2, n - 2, [
+            Load("band0", i * c(bands)),
+            Load("band1", i * c(bands) + 1),
+            Load("band2", i * c(bands) + 2),
+            Load("band3", i * c(bands) + 3),
+            Load("band4", i * c(bands) + 4),
+            Load("x", i),
+            Compute(12),
+            Store("y", i),
+        ]),
+    ]
+    length = n * bands
+
+    def values(rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(-100, 100, size=length)
+
+    return Kernel(
+        "banded-spmv",
+        [
+            ArrayDecl("band0", length, 8, values),
+            ArrayDecl("band1", length, 8, values),
+            ArrayDecl("band2", length, 8, values),
+            ArrayDecl("band3", length, 8, values),
+            ArrayDecl("band4", length, 8, values),
+            ArrayDecl("x", n, 8),
+            ArrayDecl("y", n, 8),
+        ],
+        body,
+    )
+
+
+def main() -> None:
+    kernel = build_kernel()
+    report = annotate_tight_loops(kernel)
+    print(f"annotated {report.block_count} tight loop(s)")
+
+    trace = run_kernel(kernel, limits=ExecutionLimits(max_memory_accesses=20_000))
+    trace.validate()
+
+    sizes = working_set_distribution(trace)
+    print(f"\nworking sets: mean {sizes.mean_size:.1f} lines, "
+          f"max {sizes.max_size}, "
+          f"{sizes.fraction_within(16):.0%} of blocks fit the 16-line buffer")
+
+    skew = differential_distribution(trace)
+    print(f"differentials: {skew.distinct_vectors} distinct vectors over "
+          f"{skew.iterations} transitions; the top 10% cover "
+          f"{skew.coverage_at(0.10):.0%}")
+
+    print(f"\n{'prefetcher':<12} {'IPC':>6} {'MPKI':>8}")
+    print("-" * 28)
+    for name in PAPER_PREFETCHER_ORDER:
+        result = simulate(REDUCED_CONFIG, make_prefetcher(name), trace)
+        print(f"{name:<12} {result.ipc:6.3f} {result.mpki:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Differential skew: reproduce Figure 5's coverage curves as ASCII plots.
+
+Section II-B's key enabling observation: "the vast majority of loop
+iterations are served by a tiny fraction of the differential vectors",
+so a 16-entry history table suffices.  This script measures the
+distribution for the paper's Figure 5 benchmark subset and draws each
+coverage curve.
+
+Run:  python examples/differential_skew.py
+"""
+
+from repro import GridRunner
+from repro.harness.experiments import FIGURE5_WORKLOADS, figure5
+
+
+def ascii_curve(distribution, width: int = 50, height: int = 10) -> str:
+    """Render a coverage curve as a small ASCII plot."""
+    rows = [[" "] * width for _ in range(height)]
+    for x in range(width):
+        fraction = (x + 1) / width
+        coverage = distribution.coverage_at(fraction)
+        y = min(height - 1, int(coverage * height))
+        rows[height - 1 - y][x] = "*"
+    lines = ["  100% |" + "".join(rows[0])]
+    lines += ["       |" + "".join(row) for row in rows[1:-1]]
+    lines += ["    0% |" + "".join(rows[-1])]
+    lines += ["       +" + "-" * width, "        0%" + " " * (width - 12) + "100%"]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    runner = GridRunner(budget_fraction=0.3)
+    result = figure5(runner)
+
+    print("Figure 5 — iterations covered (y) by the top x% of distinct "
+          "differential vectors:\n")
+    for name in FIGURE5_WORKLOADS:
+        distribution = result.distributions[name]
+        print(f"{name}  ({distribution.distinct_vectors} distinct vectors, "
+              f"{distribution.iterations} iterations)")
+        print(ascii_curve(distribution))
+        print(f"  top  5% of vectors cover {distribution.coverage_at(0.05):6.1%}")
+        print(f"  top 25% of vectors cover {distribution.coverage_at(0.25):6.1%}\n")
+
+    print("Block-structured kernels (stencil, sgemm, milc) collapse to a "
+          "handful of\nvectors; fft-like code spreads across many — exactly "
+          "why the paper's 16-entry\nhistory table works for the former and "
+          "thrashes on the latter.")
+
+
+if __name__ == "__main__":
+    main()

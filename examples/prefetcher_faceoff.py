@@ -1,0 +1,63 @@
+"""Prefetcher face-off: a miniature Figure 12 + Figure 14 on four workloads.
+
+Races all seven prefetcher configurations over four benchmarks chosen to
+showcase the paper's main findings:
+
+* ``sgemm-medium``   — CBWS eliminates the column-walk misses;
+* ``fft-simlarge``   — too many distinct differentials: CBWS falls back;
+* ``401.bzip2-source`` — blocks overflow the 16-line buffer;
+* ``histo-large``    — data-dependent accesses defeat everyone.
+
+Run:  python examples/prefetcher_faceoff.py
+"""
+
+from repro import GridRunner, PAPER_PREFETCHER_ORDER
+from repro.harness.report import format_table
+from repro.metrics.speedup import speedup_table
+
+WORKLOADS = [
+    "sgemm-medium",
+    "fft-simlarge",
+    "401.bzip2-source",
+    "histo-large",
+]
+
+
+def main() -> None:
+    runner = GridRunner(budget_fraction=0.3)
+    print("simulating", len(WORKLOADS), "workloads x",
+          len(PAPER_PREFETCHER_ORDER), "prefetchers ...\n")
+    grid = runner.run_grid(WORKLOADS, PAPER_PREFETCHER_ORDER)
+
+    mpki_rows = [
+        [workload] + [grid.get(workload, p).mpki
+                      for p in PAPER_PREFETCHER_ORDER]
+        for workload in WORKLOADS
+    ]
+    print(format_table(
+        ["benchmark", *PAPER_PREFETCHER_ORDER], mpki_rows,
+        title="L2 MPKI (lower is better)", float_format="{:.2f}",
+    ))
+
+    table = speedup_table(grid, workloads=WORKLOADS)
+    speedup_rows = [
+        [workload] + [table[workload][p] for p in PAPER_PREFETCHER_ORDER]
+        for workload in WORKLOADS
+    ]
+    speedup_rows.append(
+        ["geomean"] + [table["average"][p] for p in PAPER_PREFETCHER_ORDER]
+    )
+    print()
+    print(format_table(
+        ["benchmark", *PAPER_PREFETCHER_ORDER], speedup_rows,
+        title="IPC normalized to SMS (higher is better)",
+        float_format="{:.2f}",
+    ))
+
+    print("\nReading the rows: sgemm shows the CBWS win, fft the fall-back "
+          "at work,\nbzip2 the 16-line overflow, and histo that nobody "
+          "predicts data-dependent bins.")
+
+
+if __name__ == "__main__":
+    main()

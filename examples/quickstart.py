@@ -1,0 +1,100 @@
+"""Quickstart: write a kernel, annotate it, trace it, race the prefetchers.
+
+This walks the whole pipeline on a single page:
+
+1. define a loop kernel in the IR (a blocked column walk, the access
+   shape CBWS was built for);
+2. run the tight-loop annotation pass (the paper's LLVM pass);
+3. execute the kernel to get a commit-order trace;
+4. simulate the trace against every prefetcher of the paper's
+   evaluation and print the scoreboard.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    PAPER_PREFETCHER_ORDER,
+    REDUCED_CONFIG,
+    make_prefetcher,
+    simulate,
+)
+from repro.ir import ArrayDecl, Compute, For, Kernel, Load, Store, c, v, run_kernel
+from repro.passes import annotate_tight_loops, loop_runtime_stats
+from repro.sim.results import DemandClass
+
+
+def build_kernel() -> Kernel:
+    """C equivalent::
+
+        for (i = 0; i < ROWS; i++)
+            for (j = 0; j < COLS; j++)           // annotated tight loop
+                out[j] += a[j*ROWS + i] + b[j*ROWS + i] + w[j*ROWS + i];
+
+    Three simultaneous column walks: every iteration's working set is
+    three far-apart cache lines advancing by one constant differential —
+    the pattern the CBWS prefetcher was built for.
+    """
+    rows, cols = 72, 320  # 72 avoids power-of-two set aliasing
+    i, j = v("i"), v("j")
+    index = j * c(rows) + i
+    body = [
+        For("i", 0, rows, [
+            For("j", 0, cols, [
+                Load("a", index),
+                Load("b", index),
+                Load("w", index),
+                Load("out", j),
+                Compute(8),
+                Store("out", j),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "quickstart-column-walk",
+        [
+            ArrayDecl("a", rows * cols, 8),
+            ArrayDecl("b", rows * cols, 8),
+            ArrayDecl("w", rows * cols, 8),
+            ArrayDecl("out", cols, 8),
+        ],
+        body,
+    )
+
+
+def main() -> None:
+    kernel = build_kernel()
+
+    report = annotate_tight_loops(kernel)
+    print(f"annotation pass: {report.block_count} tight loop(s) tagged")
+    for loop in report.annotated:
+        print(f"  block {loop.block_id}: {loop.loop_kind} loop with "
+              f"{loop.static_memory_ops} static memory ops")
+
+    trace = run_kernel(kernel)
+    trace.validate()
+    stats = loop_runtime_stats(trace)
+    print(f"\ntrace: {len(trace.events)} events, "
+          f"{trace.instructions} instructions, "
+          f"{stats.loop_fraction:.0%} of runtime in tight loops\n")
+
+    header = (f"{'prefetcher':<12} {'IPC':>6} {'MPKI':>8} {'timely':>8} "
+              f"{'wrong':>7} {'storage':>9}")
+    print(header)
+    print("-" * len(header))
+    for name in PAPER_PREFETCHER_ORDER:
+        result = simulate(REDUCED_CONFIG, make_prefetcher(name), trace)
+        print(
+            f"{name:<12} {result.ipc:6.3f} {result.mpki:8.2f} "
+            f"{result.class_fraction(DemandClass.TIMELY):8.1%} "
+            f"{result.wrong_fraction:7.1%} "
+            f"{result.storage_bits / 8192:7.2f}KB"
+        )
+
+    print("\nThe CBWS prefetcher streams each iteration's whole working "
+          "set, so the\ncolumn walk's far-apart lines arrive before the "
+          "loop needs them — at a\nfraction of the storage of the other "
+          "schemes (Table III).")
+
+
+if __name__ == "__main__":
+    main()

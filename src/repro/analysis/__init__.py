@@ -1,0 +1,29 @@
+"""Offline trace analyses backing Section II and Section IV claims.
+
+* :mod:`repro.analysis.differentials` — the skewed distribution of CBWS
+  differential vectors (Figure 5);
+* :mod:`repro.analysis.workingsets` — dynamic working-set sizes and the
+  "16 lines map over 98% of dynamic code blocks" claim of Section IV-A.
+"""
+
+from repro.analysis.differentials import (
+    DifferentialDistribution,
+    differential_distribution,
+    extract_cbws_sequences,
+)
+from repro.analysis.workingsets import (
+    WorkingSetDistribution,
+    working_set_distribution,
+)
+from repro.analysis.reuse import COLD, ReuseProfile, reuse_profile
+
+__all__ = [
+    "DifferentialDistribution",
+    "differential_distribution",
+    "extract_cbws_sequences",
+    "WorkingSetDistribution",
+    "working_set_distribution",
+    "COLD",
+    "ReuseProfile",
+    "reuse_profile",
+]

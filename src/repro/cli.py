@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Everything the examples and benches do, driveable from a shell::
+
+    python -m repro list workloads
+    python -m repro list prefetchers
+    python -m repro run --workload stencil-default --prefetcher cbws+sms
+    python -m repro figure 14 --budget-fraction 0.3
+    python -m repro table 3
+    python -m repro trace --workload nw --out nw.trace
+    python -m repro inspect nw.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.common.errors import ReproError
+from repro.harness.registry import PAPER_PREFETCHER_ORDER
+from repro.harness.runner import GridRunner
+from repro.sim.results import DemandClass
+from repro.trace.io import read_trace, write_trace
+from repro.workloads import ALL_WORKLOADS, REGISTRY, build_trace, get_workload
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget-fraction", type=float, default=1.0,
+        help="fraction of each workload's default access budget (default 1.0)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload footprint/trip-count scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload data seed (default 0)",
+    )
+
+
+def _runner(args: argparse.Namespace) -> GridRunner:
+    return GridRunner(
+        scale=args.scale,
+        budget_fraction=args.budget_fraction,
+        seed=args.seed,
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "workloads":
+        print(f"{'name':<26} {'suite':<15} {'group':<5} description")
+        print("-" * 88)
+        for name in ALL_WORKLOADS:
+            spec = REGISTRY[name]
+            print(f"{spec.name:<26} {spec.suite:<15} {spec.group:<5} "
+                  f"{spec.description}")
+    else:
+        for name in PAPER_PREFETCHER_ORDER:
+            print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    prefetchers = (
+        PAPER_PREFETCHER_ORDER if args.prefetcher == "all"
+        else [args.prefetcher]
+    )
+    workloads = ALL_WORKLOADS if args.workload == "all" else [args.workload]
+    header = (f"{'workload':<26} {'prefetcher':<12} {'IPC':>6} {'MPKI':>8} "
+              f"{'timely':>7} {'sw':>6} {'wrong':>6}")
+    print(header)
+    print("-" * len(header))
+    for workload in workloads:
+        for name in prefetchers:
+            result = runner.run_one(workload, name)
+            print(
+                f"{workload:<26} {name:<12} {result.ipc:6.3f} "
+                f"{result.mpki:8.2f} "
+                f"{result.class_fraction(DemandClass.TIMELY):6.1%} "
+                f"{result.class_fraction(DemandClass.SHORTER_WAITING):6.1%} "
+                f"{result.wrong_fraction:6.1%}"
+            )
+    if args.json is not None:
+        from repro.harness.export import write_json
+
+        grid = runner.run_grid(workloads, prefetchers)
+        write_json(
+            grid, args.json,
+            budget_fraction=args.budget_fraction,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+_FIGURES = {
+    "1": "figure1",
+    "5": "figure5",
+    "12": "figure12",
+    "13": "figure13",
+    "14": "figure14",
+    "15": "figure15",
+}
+
+_TABLES = {"1": "table1", "3": "table3"}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness import experiments
+
+    function = getattr(experiments, _FIGURES[args.number])
+    result = function(_runner(args))
+    print(result.render())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.harness import experiments
+
+    if args.number == "3":
+        print(experiments.table3().render())
+    else:
+        print(experiments.table1(_runner(args)).render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    trace = build_trace(
+        spec,
+        scale=args.scale,
+        max_accesses=args.accesses,
+        seed=args.seed,
+    )
+    write_trace(trace, args.out)
+    stats = trace.stats()
+    print(f"wrote {args.out}: {len(trace.events)} events, "
+          f"{stats.memory_accesses} accesses, "
+          f"{stats.blocks} block instances")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    trace = read_trace(args.path)
+    trace.validate()
+    stats = trace.stats()
+    print(f"name:              {trace.name}")
+    print(f"events:            {len(trace.events)}")
+    print(f"instructions:      {stats.instructions}")
+    print(f"memory accesses:   {stats.memory_accesses} "
+          f"({stats.loads} loads, {stats.stores} stores)")
+    print(f"block instances:   {stats.blocks} "
+          f"({stats.distinct_block_ids} static blocks)")
+    print(f"loop fraction:     {stats.loop_fraction:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Loop-Aware Memory Prefetching Using Code "
+            "Block Working Sets' (MICRO 2014)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list workloads or prefetchers")
+    list_parser.add_argument(
+        "what", choices=["workloads", "prefetchers"])
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate workload(s) against prefetcher(s)")
+    run_parser.add_argument(
+        "--workload", default="all",
+        help="workload name or 'all' (default all)")
+    run_parser.add_argument(
+        "--prefetcher", default="all",
+        help="prefetcher name or 'all' (default all)")
+    run_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the results as JSON to PATH")
+    _add_runner_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="reproduce one figure of the paper")
+    figure_parser.add_argument("number", choices=sorted(_FIGURES))
+    _add_runner_arguments(figure_parser)
+    figure_parser.set_defaults(handler=_cmd_figure)
+
+    table_parser = subparsers.add_parser(
+        "table", help="reproduce one table of the paper")
+    table_parser.add_argument("number", choices=sorted(_TABLES))
+    _add_runner_arguments(table_parser)
+    table_parser.set_defaults(handler=_cmd_table)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate and save a workload trace")
+    trace_parser.add_argument("--workload", required=True)
+    trace_parser.add_argument("--out", required=True)
+    trace_parser.add_argument(
+        "--accesses", type=int, default=None,
+        help="memory-access budget (default: the workload's own)")
+    _add_runner_arguments(trace_parser)
+    trace_parser.set_defaults(handler=_cmd_trace)
+
+    inspect_parser = subparsers.add_parser(
+        "inspect", help="validate and summarize a saved trace")
+    inspect_parser.add_argument("path")
+    inspect_parser.set_defaults(handler=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Shared primitives used across every subsystem.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`,
+so any module may import from it without creating cycles.
+"""
+
+from repro.common.constants import (
+    DEFAULT_LINE_SIZE,
+    DEFAULT_PAGE_SIZE,
+    LINE_SHIFT,
+)
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    TraceError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.common.bitops import (
+    bit_select,
+    fold_xor,
+    is_power_of_two,
+    line_of,
+    log2_exact,
+    mask,
+    sign_extend,
+)
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "DEFAULT_LINE_SIZE",
+    "DEFAULT_PAGE_SIZE",
+    "LINE_SHIFT",
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "ValidationError",
+    "WorkloadError",
+    "bit_select",
+    "fold_xor",
+    "is_power_of_two",
+    "line_of",
+    "log2_exact",
+    "mask",
+    "sign_extend",
+    "DeterministicRng",
+]

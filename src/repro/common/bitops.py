@@ -1,0 +1,79 @@
+"""Bit-level helpers used by the cache model and CBWS hardware structures.
+
+The CBWS prefetcher aggressively truncates addresses and strides to keep
+its storage under 1 KB (Figure 8), so the predictor relies on the helpers
+here to model the exact bit widths of each hardware field.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import LINE_SHIFT
+
+
+def mask(bits: int) -> int:
+    """Return a bitmask with the low ``bits`` bits set.
+
+    >>> hex(mask(12))
+    '0xfff'
+    """
+    if bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def bit_select(value: int, bits: int) -> int:
+    """Keep only the low ``bits`` bits of ``value``.
+
+    This models the "bit-select hashing" the paper uses to compress CBWS
+    differentials down to 12 bits before they enter the history shift
+    registers.  Negative strides are first mapped to their two's-complement
+    representation so the selection is well defined.
+    """
+    return value & mask(bits)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as a signed integer.
+
+    >>> sign_extend(0xFFF, 12)
+    -1
+    >>> sign_extend(0x7FF, 12)
+    2047
+    """
+    value &= mask(bits)
+    sign_bit = 1 << (bits - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def fold_xor(value: int, out_bits: int) -> int:
+    """XOR-fold ``value`` down to ``out_bits`` bits.
+
+    The differential history table is "indexed by the history shift
+    registers, whose 48 bits are xor-ed to provide a 16-bit tag"
+    (Section V-A); this helper performs that folding for arbitrary widths.
+    """
+    if out_bits <= 0:
+        raise ValueError(f"output width must be positive, got {out_bits}")
+    folded = 0
+    value &= (1 << max(value.bit_length(), out_bits)) - 1
+    while value:
+        folded ^= value & mask(out_bits)
+        value >>= out_bits
+    return folded
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two, raising on anything else."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def line_of(byte_address: int, line_shift: int = LINE_SHIFT) -> int:
+    """Convert a byte address to its cache line number."""
+    return byte_address >> line_shift

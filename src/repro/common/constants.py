@@ -1,0 +1,28 @@
+"""Architectural constants shared across the simulator.
+
+The values mirror Table II of the paper: 64-byte cache lines and 4 KB
+physical pages.  Everything else (cache sizes, latencies, prefetcher
+geometry) is configurable and lives in :mod:`repro.sim.config`.
+"""
+
+#: Cache line size in bytes (Table II: all caches use 64-byte lines).
+DEFAULT_LINE_SIZE = 64
+
+#: log2(DEFAULT_LINE_SIZE); used to convert byte addresses to line numbers.
+LINE_SHIFT = 6
+
+#: Physical page size in bytes (Table II).
+DEFAULT_PAGE_SIZE = 4096
+
+#: Number of bits kept for a line address inside CBWS hardware buffers
+#: (Figure 8: "the lower 32 bits of the line addresses").
+CBWS_LINE_ADDR_BITS = 32
+
+#: Number of bits used to represent one element of a CBWS differential
+#: (Section V-A: "16 bits are sufficient to represent each element").
+CBWS_STRIDE_BITS = 16
+
+#: Number of bits of a differential kept in the history shift registers
+#: (Section V-A: "differentials are represented using 12 bits ...
+#: bit-select hashing").
+CBWS_HASH_BITS = 12

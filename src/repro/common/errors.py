@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An architectural or prefetcher configuration is inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (bad ordering, unknown event, truncated file)."""
+
+
+class ValidationError(ReproError):
+    """An IR program failed structural validation."""
+
+
+class WorkloadError(ReproError):
+    """A workload was requested with unknown name or invalid parameters."""

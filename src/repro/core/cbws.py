@@ -1,0 +1,106 @@
+"""CBWS and CBWS-differential algebra (Section IV-B).
+
+A code block working set is "a time-ordered set of unique line
+addresses" (Equation 1): the cache lines a single loop iteration touches,
+in first-touch order, with duplicates removed.  A CBWS *differential* is
+the element-wise subtraction of two CBWS vectors (Equation 2); when the
+two working sets have different lengths (branch divergence inside the
+loop), they are aligned and the differential takes the shorter length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class CodeBlockWorkingSet:
+    """The ordered vector of distinct cache lines touched by one block.
+
+    Construction is incremental, mirroring the hardware FIFO: ``observe``
+    appends a line the first time it is seen and ignores repeats.  The
+    optional ``max_members`` cap models the 16-entry hardware buffer —
+    lines beyond the cap are dropped, which is exactly why the paper's
+    bzip2 (hundreds of lines per block) defeats the CBWS prefetcher.
+    """
+
+    __slots__ = ("_lines", "_members", "max_members", "overflowed")
+
+    def __init__(
+        self,
+        lines: Iterable[int] = (),
+        max_members: int | None = None,
+    ) -> None:
+        self._lines: list[int] = []
+        self._members: set[int] = set()
+        self.max_members = max_members
+        #: True when at least one distinct line was dropped by the cap.
+        self.overflowed = False
+        for line in lines:
+            self.observe(line)
+
+    def observe(self, line: int) -> bool:
+        """Record an access; returns True when the line was newly added."""
+        if line in self._members:
+            return False
+        if self.max_members is not None and len(self._lines) >= self.max_members:
+            self.overflowed = True
+            return False
+        self._members.add(line)
+        self._lines.append(line)
+        return True
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """The working set as an immutable vector."""
+        return tuple(self._lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._lines)
+
+    def __getitem__(self, index: int) -> int:
+        return self._lines[index]
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._members
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CodeBlockWorkingSet):
+            return self._lines == other._lines
+        if isinstance(other, (tuple, list)):
+            return self._lines == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._lines))
+
+    def __repr__(self) -> str:
+        return f"CBWS({self._lines})"
+
+
+def differential(
+    older: "Sequence[int] | CodeBlockWorkingSet",
+    newer: "Sequence[int] | CodeBlockWorkingSet",
+) -> tuple[int, ...]:
+    """Element-wise stride vector Δ = newer - older (Equation 2).
+
+    Working sets of different sizes are aligned from the front and the
+    differential takes the size of the smaller one, as specified in
+    Section IV-B for branch-divergent iterations.
+
+    >>> differential((80, 81, 6515), (80, 81, 7539))
+    (0, 0, 1024)
+    """
+    length = min(len(older), len(newer))
+    return tuple(newer[i] - older[i] for i in range(length))
+
+
+def apply_differential(
+    base: "Sequence[int] | CodeBlockWorkingSet",
+    delta: Sequence[int],
+) -> tuple[int, ...]:
+    """Predict a future CBWS: ``base[i] + delta[i]`` over the aligned
+    prefix.  This is the vector addition of step #4 in Figure 11."""
+    length = min(len(base), len(delta))
+    return tuple(base[i] + delta[i] for i in range(length))

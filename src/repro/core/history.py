@@ -1,0 +1,142 @@
+"""Differential history tracking (Figure 8, right side).
+
+Per prediction step the hardware keeps a *history shift register* — a
+3-deep shift register of 12-bit differential hashes, functionally similar
+to a branch history register but shifting CBWS differentials instead of
+branch outcomes.  The registers index the 16-entry, fully-associative
+*differential history table*, whose concatenated bits are XOR-folded
+into a 16-bit tag and whose eviction policy is random (Table II).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Sequence
+
+from repro.common.bitops import bit_select, fold_xor, mask
+from repro.common.constants import CBWS_HASH_BITS
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+
+
+def hash_differential(delta: Sequence[int], hash_bits: int = CBWS_HASH_BITS) -> int:
+    """Compress a differential vector to ``hash_bits`` bits.
+
+    The paper stores "12 bits extracted from the original differential
+    (bit-select hashing)".  We fold the 16-bit two's-complement elements
+    together with a positional rotation (so permuted vectors hash apart)
+    and bit-select the low 12 bits.  An empty differential hashes to a
+    reserved all-ones value so it never aliases a real pattern.
+    """
+    if not delta:
+        return mask(hash_bits)
+    folded = len(delta)
+    for position, element in enumerate(delta):
+        encoded = element & 0xFFFF  # 16-bit two's complement stride
+        rotation = (position * 5) % 16  # rotate within the 16-bit field
+        rotated = ((encoded << rotation) | (encoded >> (16 - rotation))) \
+            & 0xFFFFFFFF
+        folded ^= rotated
+    return bit_select(fold_xor(folded, hash_bits), hash_bits)
+
+
+class HistoryShiftRegister:
+    """A ``depth``-deep shift register of hashed differentials."""
+
+    def __init__(self, depth: int = 3, hash_bits: int = CBWS_HASH_BITS) -> None:
+        if depth <= 0:
+            raise ConfigError("history shift register needs positive depth")
+        self.depth = depth
+        self.hash_bits = hash_bits
+        self._values: deque[int] = deque(maxlen=depth)
+
+    def shift(self, hashed: int) -> None:
+        """Shift in the newest hashed differential."""
+        self._values.append(bit_select(hashed, self.hash_bits))
+
+    def tag(self, tag_bits: int = 16) -> int:
+        """XOR-fold the register contents into a table tag.
+
+        Matches the paper's indexing: the registers' bits "are xor-ed to
+        provide a 16-bit tag".  Positions are salted so that histories
+        that are permutations of each other produce different tags.
+        """
+        concatenated = 0
+        for position, value in enumerate(self._values):
+            concatenated |= value << (position * self.hash_bits)
+        # Salt with the fill level so a 1-deep history differs from the
+        # same value repeated.
+        concatenated ^= len(self._values)
+        return fold_xor(concatenated, tag_bits)
+
+    @property
+    def filled(self) -> bool:
+        """True once the register holds ``depth`` entries."""
+        return len(self._values) == self.depth
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self._values.clear()
+
+
+class DifferentialHistoryTable:
+    """The 16-entry fully-associative tag -> differential-vector store.
+
+    Replacement is random (Table II: "History Table Repl. Random"),
+    driven by a seeded RNG for reproducibility.  Stored vectors are kept
+    as tuples of 16-bit two's-complement strides, exactly what the
+    hardware would hold.
+    """
+
+    def __init__(
+        self,
+        entries: int = 16,
+        tag_bits: int = 16,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        if entries <= 0:
+            raise ConfigError("history table needs at least one entry")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self._rng = rng or DeterministicRng(0xCB35)
+        self._table: OrderedDict[int, tuple[int, ...]] = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, tag: int) -> tuple[int, ...] | None:
+        """Probe the table; hit statistics feed the confidence policy."""
+        self.lookups += 1
+        value = self._table.get(tag & mask(self.tag_bits))
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def insert(self, tag: int, delta: Sequence[int]) -> None:
+        """Store a differential under ``tag``, evicting randomly if full."""
+        key = tag & mask(self.tag_bits)
+        if key not in self._table and len(self._table) >= self.entries:
+            victim = self._rng.choice(list(self._table.keys()))
+            del self._table[victim]
+        self._table[key] = tuple(delta)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (prediction confidence proxy)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, tag: int) -> bool:
+        return (tag & mask(self.tag_bits)) in self._table
+
+    def clear(self) -> None:
+        """Drop all stored differentials and statistics."""
+        self._table.clear()
+        self.lookups = 0
+        self.hits = 0

@@ -1,0 +1,244 @@
+"""Algorithm 1: differential CBWS prediction.
+
+The predictor receives the three hardware events — ``BLOCK_BEGIN``,
+``MEMORY_ACCESS`` (for accesses committed inside a block) and
+``BLOCK_END`` — and maintains the Figure 8 structures:
+
+* on ``BLOCK_BEGIN`` the current-CBWS tracing is reset;
+* on each ``MEMORY_ACCESS`` the line is pushed into the current CBWS and
+  the k-step differential entries are generated *incrementally* against
+  the k-th predecessor CBWS ("the history differentials are generated
+  progressively with each memory access, so the predictor requires only
+  4 adders");
+* on ``BLOCK_END`` the differential history table is trained with the
+  completed differentials (keyed by the pre-update shift-register tags),
+  the shift registers advance, the completed CBWS becomes predecessor #1,
+  and the table is probed for the differentials that predict the next
+  blocks — the sum ``CBWS + Δ`` is the predicted working set (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bitops import bit_select, mask, sign_extend
+from repro.common.constants import (
+    CBWS_HASH_BITS,
+    CBWS_LINE_ADDR_BITS,
+    CBWS_STRIDE_BITS,
+)
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.core.buffers import CurrentCbwsBuffer, LastBlocksBuffer
+from repro.core.history import (
+    DifferentialHistoryTable,
+    HistoryShiftRegister,
+    hash_differential,
+)
+
+
+@dataclass(frozen=True)
+class CbwsConfig:
+    """CBWS prefetcher geometry (Table II values as defaults).
+
+    Attributes:
+        max_vector_members: CBWS buffer depth (16 lines; Section IV-A
+            reports 16 lines cover >98 % of dynamic blocks).
+        max_step: predecessor CBWSs kept, and differential steps computed.
+        predict_steps: how many future blocks are predicted at BLOCK_END.
+            The default uses all ``max_step`` differential registers —
+            the multi-step lookahead Section IV-C introduces to mitigate
+            the BLOCK_END timing constraint.
+        history_depth: shift-register depth (3-deep differential history).
+        table_entries: differential history table capacity.
+        stride_bits / hash_bits / tag_bits / line_addr_bits: field widths.
+        seed: RNG seed for the table's random replacement.
+    """
+
+    max_vector_members: int = 16
+    max_step: int = 4
+    predict_steps: int = 4
+    history_depth: int = 3
+    table_entries: int = 16
+    stride_bits: int = CBWS_STRIDE_BITS
+    hash_bits: int = CBWS_HASH_BITS
+    tag_bits: int = 16
+    line_addr_bits: int = CBWS_LINE_ADDR_BITS
+    seed: int = 0xCB35
+
+    def __post_init__(self) -> None:
+        if self.max_step <= 0:
+            raise ConfigError("cbws: max_step must be positive")
+        if not 1 <= self.predict_steps <= self.max_step:
+            raise ConfigError(
+                f"cbws: predict_steps {self.predict_steps} outside "
+                f"[1, max_step={self.max_step}]"
+            )
+        if self.max_vector_members <= 0:
+            raise ConfigError("cbws: vector capacity must be positive")
+
+
+@dataclass
+class PredictorStats:
+    """Observable behaviour of the predictor, used by tests and reports."""
+
+    blocks_completed: int = 0
+    blocks_overflowed: int = 0
+    predictions_made: int = 0
+    lines_predicted: int = 0
+    table_lookups: int = 0
+    table_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """History-table hit rate over prediction lookups."""
+        if self.table_lookups == 0:
+            return 0.0
+        return self.table_hits / self.table_lookups
+
+
+class CbwsPredictor:
+    """The CBWS differential predictor of Algorithm 1."""
+
+    def __init__(self, config: CbwsConfig | None = None) -> None:
+        self.config = config or CbwsConfig()
+        config = self.config
+        self.current = CurrentCbwsBuffer(
+            config.max_vector_members, config.line_addr_bits
+        )
+        self.last_blocks = LastBlocksBuffer(config.max_step)
+        self.shift_registers = [
+            HistoryShiftRegister(config.history_depth, config.hash_bits)
+            for _ in range(config.max_step)
+        ]
+        self.table = DifferentialHistoryTable(
+            config.table_entries,
+            config.tag_bits,
+            DeterministicRng(config.seed),
+        )
+        self.stats = PredictorStats()
+        self._current_diffs: list[list[int]] = [[] for _ in range(config.max_step)]
+        self._block_id: int | None = None
+        self._line_mask = mask(config.line_addr_bits)
+        #: Whether the most recent BLOCK_END produced at least one
+        #: table-hit prediction; the hybrid policy keys off this.
+        self.confident = False
+        #: Whether the most recent completed block overflowed the CBWS
+        #: buffer (more distinct lines than fit).  An overflowed block's
+        #: prediction covers only a prefix of the working set, so the
+        #: hybrid must not let it silence SMS (the bzip2 case).
+        self.last_block_overflowed = False
+
+    # -- event protocol ----------------------------------------------------
+
+    def block_begin(self, block_id: int) -> None:
+        """BLOCK_BEGIN(id): reset per-block tracing.
+
+        A change of static block id means a different loop is now
+        executing; predecessor CBWSs and shift registers of the old loop
+        are meaningless for it, so the cross-block history is flushed
+        (the hardware holds a single context, Section V-A).
+        """
+        if block_id != self._block_id:
+            self.last_blocks.clear()
+            for register in self.shift_registers:
+                register.clear()
+            for diffs in self._current_diffs:
+                diffs.clear()
+            self._block_id = block_id
+            self.confident = False
+        self.current.clear()
+        for diffs in self._current_diffs:
+            diffs.clear()
+
+    def memory_access(self, line: int) -> None:
+        """A load/store committed inside the current block."""
+        index = self.current.push(line)
+        if index is None:
+            return  # repeated line, or the 16-entry buffer is full
+        truncated = line & self._line_mask
+        for step in range(1, self.config.max_step + 1):
+            predecessor = self.last_blocks.get(step)
+            if predecessor is None or index >= len(predecessor):
+                continue
+            diffs = self._current_diffs[step - 1]
+            if len(diffs) == index:  # keep element positions aligned
+                raw = truncated - predecessor[index]
+                diffs.append(
+                    sign_extend(bit_select(raw, self.config.stride_bits),
+                                self.config.stride_bits)
+                )
+
+    def block_end(self) -> list[int]:
+        """BLOCK_END: train, rotate history, and predict future CBWSs.
+
+        Returns the list of predicted lines for the next
+        ``predict_steps`` block instances (duplicates removed, order
+        preserved).  Empty when no shift-register tag hits the table —
+        the standalone prefetcher stays silent in that case.
+        """
+        config = self.config
+        completed = self.current.snapshot()
+        self.stats.blocks_completed += 1
+        self.last_block_overflowed = self.current.overflowed
+        if self.current.overflowed:
+            self.stats.blocks_overflowed += 1
+
+        # 1. Train: store each completed differential under the tag of the
+        #    *pre-update* history, then shift the new differential in.
+        for step in range(config.max_step):
+            diffs = self._current_diffs[step]
+            if diffs:
+                self.table.insert(self.shift_registers[step].tag(config.tag_bits),
+                                  diffs)
+            self.shift_registers[step].shift(
+                hash_differential(diffs, config.hash_bits)
+            )
+
+        # 2. Rotate: the completed CBWS becomes predecessor #1.
+        if completed:
+            self.last_blocks.push(completed)
+
+        # 3. Predict the next blocks with the updated history tags.
+        candidates: list[int] = []
+        seen: set[int] = set()
+        any_hit = False
+        for step in range(1, config.predict_steps + 1):
+            tag = self.shift_registers[step - 1].tag(config.tag_bits)
+            self.stats.table_lookups += 1
+            predicted = self.table.lookup(tag)
+            if predicted is None:
+                continue
+            self.stats.table_hits += 1
+            any_hit = True
+            # A k-step differential already spans k block instances, so
+            # base + delta predicts the CBWS k blocks ahead (Figure 7).
+            for position in range(min(len(completed), len(predicted))):
+                line = (completed[position] + predicted[position]) \
+                    & self._line_mask
+                if line not in seen:
+                    seen.add(line)
+                    candidates.append(line)
+        self.confident = any_hit
+        if candidates:
+            self.stats.predictions_made += 1
+            self.stats.lines_predicted += len(candidates)
+
+        # 4. Reset per-block tracing for safety (BLOCK_BEGIN does it too).
+        self.current.clear()
+        for diffs in self._current_diffs:
+            diffs.clear()
+        return candidates
+
+    def reset(self) -> None:
+        """Drop every piece of learned state."""
+        self.current.clear()
+        self.last_blocks.clear()
+        for register in self.shift_registers:
+            register.clear()
+        self.table.clear()
+        for diffs in self._current_diffs:
+            diffs.clear()
+        self.stats = PredictorStats()
+        self._block_id = None
+        self.confident = False

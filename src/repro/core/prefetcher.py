@@ -1,0 +1,61 @@
+"""The standalone CBWS prefetcher.
+
+Deployment mode #1 of Section VII: "prefetch operations are issued only
+if there is a hit in the CBWS history table.  On a miss, no prefetch is
+issued."  The hit/miss gating is inherent to the predictor — a
+shift-register tag that misses the table yields no candidates.
+
+The compiler hints let the prefetcher be aggressive exactly where it is
+safe: it observes *all* L1 accesses (hits included) but only inside
+annotated blocks, and it issues an entire working set per prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictor import CbwsConfig, CbwsPredictor
+from repro.prefetchers.base import DemandInfo, Prefetcher
+from repro.prefetchers.storage import cbws_storage
+
+
+class CbwsPrefetcher(Prefetcher):
+    """Standalone code-block-working-set prefetcher."""
+
+    name = "cbws"
+
+    def __init__(self, config: CbwsConfig | None = None) -> None:
+        self.config = config or CbwsConfig()
+        self.predictor = CbwsPredictor(self.config)
+        self._in_block = False
+
+    def on_block_begin(self, block_id: int) -> None:
+        self.predictor.block_begin(block_id)
+        self._in_block = True
+
+    def on_access(self, info: DemandInfo) -> list[int]:
+        # Compiler annotations focus tracking on tight loops: accesses
+        # outside a block are invisible to the CBWS hardware.
+        if self._in_block:
+            self.predictor.memory_access(info.line)
+        return []
+
+    def on_block_end(self, block_id: int) -> list[int]:
+        self._in_block = False
+        return self.predictor.block_end()
+
+    @property
+    def confident(self) -> bool:
+        """True when the last BLOCK_END hit the history table."""
+        return self.predictor.confident
+
+    @property
+    def covers_full_working_set(self) -> bool:
+        """False when the last block overflowed the 16-line buffer, in
+        which case any prediction covers only a prefix of the block."""
+        return not self.predictor.last_block_overflowed
+
+    def storage_bits(self) -> int:
+        return cbws_storage(self.config).bits
+
+    def reset(self) -> None:
+        self.predictor.reset()
+        self._in_block = False

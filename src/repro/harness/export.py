@@ -1,0 +1,95 @@
+"""Machine-readable export of experiment results.
+
+The bench targets archive human-readable renders under ``results/``;
+this module serializes the same data as JSON and CSV so downstream
+tooling (plotting scripts, regression dashboards) can consume the
+reproduction without parsing tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.metrics.aggregate import ResultGrid
+from repro.metrics.timeliness import timeliness_breakdown
+from repro.sim.results import DemandClass, SimResult
+
+
+def result_to_dict(result: SimResult) -> dict[str, Any]:
+    """Flatten one simulation result to JSON-friendly primitives."""
+    breakdown = timeliness_breakdown(result)
+    return {
+        "workload": result.workload,
+        "prefetcher": result.prefetcher,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "mpki": result.mpki,
+        "demand_accesses": result.demand_accesses,
+        "l1_misses": result.l1_misses,
+        "llc_misses": result.llc_misses,
+        "prefetches_issued": result.prefetches_issued,
+        "prefetch_fills": result.prefetch_fills,
+        "useful_prefetches": result.useful_prefetches,
+        "wrong_prefetches": result.wrong_prefetches,
+        "demand_bytes_read": result.demand_bytes_read,
+        "prefetch_bytes_read": result.prefetch_bytes_read,
+        "storage_bits": result.storage_bits,
+        "accuracy": result.accuracy,
+        "timely_fraction": breakdown.timely,
+        "shorter_waiting_fraction": breakdown.shorter_waiting,
+        "non_timely_fraction": breakdown.non_timely,
+        "missing_fraction": breakdown.missing,
+        "plain_hit_fraction": breakdown.plain_hit,
+        "wrong_fraction": breakdown.wrong,
+        "classes": {
+            cls.value: count for cls, count in result.classes.items()
+        },
+    }
+
+
+def grid_to_records(grid: ResultGrid) -> list[dict[str, Any]]:
+    """All grid cells as flat records, workload-major order."""
+    return [result_to_dict(result) for result in grid]
+
+
+def write_json(grid: ResultGrid, path: str | Path, **metadata: Any) -> None:
+    """Write a grid (plus free-form metadata) as a JSON document."""
+    document = {
+        "metadata": metadata,
+        "workloads": grid.workloads,
+        "prefetchers": grid.prefetchers,
+        "results": grid_to_records(grid),
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+#: Columns of the CSV export, in order (the nested class counts are
+#: flattened into the *_fraction columns already).
+CSV_COLUMNS = [
+    "workload", "prefetcher", "instructions", "cycles", "ipc", "mpki",
+    "demand_accesses", "l1_misses", "llc_misses", "prefetches_issued",
+    "prefetch_fills", "useful_prefetches", "wrong_prefetches",
+    "demand_bytes_read", "prefetch_bytes_read", "storage_bits",
+    "accuracy", "timely_fraction", "shorter_waiting_fraction",
+    "non_timely_fraction", "missing_fraction", "plain_hit_fraction",
+    "wrong_fraction",
+]
+
+
+def write_csv(grid: ResultGrid, path: str | Path) -> None:
+    """Write a grid as CSV, one row per (workload, prefetcher) cell."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for record in grid_to_records(grid):
+            writer.writerow(record)
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read back a document written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,70 @@
+"""Prefetcher factories for the evaluation grid."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigError
+from repro.core.hybrid import CbwsSmsPrefetcher
+from repro.core.predictor import CbwsConfig
+from repro.core.prefetcher import CbwsPrefetcher
+from repro.prefetchers.ampm import AmpmPrefetcher
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.ghb import GhbConfig, GhbPrefetcher
+from repro.prefetchers.markov import MarkovPrefetcher
+from repro.prefetchers.none import NoPrefetcher
+from repro.prefetchers.sms import SmsPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.throttle import ThrottledPrefetcher
+
+#: Factories build a *fresh* prefetcher per simulation (no shared state).
+PREFETCHER_FACTORIES: dict[str, Callable[[], Prefetcher]] = {
+    "no-prefetch": NoPrefetcher,
+    "stride": StridePrefetcher,
+    "ghb-pc/dc": lambda: GhbPrefetcher(GhbConfig(mode="pc")),
+    "ghb-g/dc": lambda: GhbPrefetcher(GhbConfig(mode="global")),
+    "sms": SmsPrefetcher,
+    "cbws": CbwsPrefetcher,
+    "cbws+sms": CbwsSmsPrefetcher,
+    # Extensions beyond the paper's evaluated set (related work).
+    "ampm": AmpmPrefetcher,
+    "markov": MarkovPrefetcher,
+    "fdp(cbws+sms)": lambda: ThrottledPrefetcher(CbwsSmsPrefetcher()),
+}
+
+#: The bar order used by Figures 12-15.
+PAPER_PREFETCHER_ORDER: list[str] = [
+    "no-prefetch",
+    "stride",
+    "ghb-pc/dc",
+    "ghb-g/dc",
+    "sms",
+    "cbws",
+    "cbws+sms",
+]
+
+#: The paper's set plus the related-work extensions.
+EXTENDED_PREFETCHER_ORDER: list[str] = [
+    *PAPER_PREFETCHER_ORDER,
+    "ampm",
+    "markov",
+    "fdp(cbws+sms)",
+]
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Build a fresh prefetcher by its evaluation name."""
+    try:
+        factory = PREFETCHER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(PAPER_PREFETCHER_ORDER)
+        raise ConfigError(f"unknown prefetcher {name!r}; known: {known}") from None
+    return factory()
+
+
+def make_cbws_variant(config: CbwsConfig, hybrid: bool = False) -> Prefetcher:
+    """Build a CBWS(-based) prefetcher with a custom geometry, used by
+    the ablation experiments."""
+    if hybrid:
+        return CbwsSmsPrefetcher(cbws_config=config)
+    return CbwsPrefetcher(config)

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are bar charts and curves; these helpers render the
+same data as aligned ASCII tables so every bench target can print the
+rows it reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  The first column is left-aligned, the rest right-aligned.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(str(header)) for header in headers]
+    for cells in rendered:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = [str(cells[0]).ljust(widths[0])]
+        parts.extend(
+            str(cell).rjust(width)
+            for cell, width in zip(cells[1:], widths[1:])
+        )
+        return "  ".join(parts)
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append("  ".join("-" * width for width in widths))
+    out.extend(line(cells) for cells in rendered)
+    return "\n".join(out)
+
+
+def format_percent_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Like :func:`format_table` but floats render as percentages."""
+    return format_table(headers, rows, title=title, float_format="{:6.1%}")
+
+
+def format_mapping(
+    mapping: Mapping[str, float],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a flat name -> value mapping as a two-column table."""
+    rows = [[key, value] for key, value in mapping.items()]
+    return format_table(["name", "value"], rows, title=title,
+                        float_format=float_format)

@@ -1,0 +1,157 @@
+"""Grid runner: (workload x prefetcher) simulations with trace caching.
+
+Traces are expensive to generate (the IR interpreter executes every
+iteration over real data) but identical for every prefetcher, so the
+runner builds each workload's trace once and reuses it across the grid.
+A process-wide in-memory cache covers repeated experiment calls; an
+optional on-disk cache (the binary trace format) survives processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.metrics.aggregate import ResultGrid
+from repro.prefetchers.base import Prefetcher
+from repro.sim.config import REDUCED_CONFIG, SimConfig
+from repro.sim.engine import simulate
+from repro.sim.results import SimResult
+from repro.trace.io import read_trace, write_trace
+from repro.trace.stream import Trace
+from repro.workloads.base import build_trace, get_workload
+
+_MEMORY_CACHE: dict[tuple[str, float, float, int], Trace] = {}
+
+
+class GridRunner:
+    """Runs simulation grids against one machine configuration.
+
+    Args:
+        config: machine model (defaults to the reduced Table II scale).
+        scale: workload scale factor passed to every kernel factory.
+        budget_fraction: multiplies each workload's default access budget;
+            tests use small fractions for fast, structurally identical
+            runs.
+        seed: workload data seed.
+        cache_dir: optional directory for on-disk trace caching.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig = REDUCED_CONFIG,
+        scale: float = 1.0,
+        budget_fraction: float = 1.0,
+        seed: int = 0,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.config = config
+        self.scale = scale
+        self.budget_fraction = budget_fraction
+        self.seed = seed
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        # Simulations are deterministic, so registry-built grid cells are
+        # memoized: experiments sharing a runner reuse each other's cells.
+        self._results: dict[tuple[str, str], SimResult] = {}
+
+    # -- traces ------------------------------------------------------------
+
+    def trace(self, workload: str) -> Trace:
+        """The (cached) annotated trace for one workload."""
+        key = (workload, self.scale, self.budget_fraction, self.seed)
+        cached = _MEMORY_CACHE.get(key)
+        if cached is not None:
+            return cached
+
+        disk_path = self._disk_path(workload)
+        if disk_path is not None and disk_path.exists():
+            trace = read_trace(disk_path)
+            _MEMORY_CACHE[key] = trace
+            return trace
+
+        spec = get_workload(workload)
+        budget = max(
+            1000, int(spec.default_accesses * self.scale * self.budget_fraction)
+        )
+        trace = build_trace(
+            spec, scale=self.scale, max_accesses=budget, seed=self.seed
+        )
+        _MEMORY_CACHE[key] = trace
+        if disk_path is not None:
+            disk_path.parent.mkdir(parents=True, exist_ok=True)
+            write_trace(trace, disk_path)
+        return trace
+
+    def _disk_path(self, workload: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        safe = workload.replace("/", "_")
+        return self.cache_dir / (
+            f"{safe}-s{self.scale}-b{self.budget_fraction}-r{self.seed}.trace"
+        )
+
+    # -- simulation ---------------------------------------------------------
+
+    def run_one(
+        self,
+        workload: str,
+        prefetcher_name: str,
+        prefetcher: Prefetcher | None = None,
+    ) -> SimResult:
+        """Simulate one grid cell with a fresh prefetcher instance."""
+        from repro.harness.registry import make_prefetcher
+
+        if prefetcher is None:
+            key = (workload, prefetcher_name)
+            cached = self._results.get(key)
+            if cached is not None:
+                return cached
+            result = simulate(
+                self.config, make_prefetcher(prefetcher_name),
+                self.trace(workload),
+            )
+            result.prefetcher = prefetcher_name
+            self._results[key] = result
+            return result
+
+        result = simulate(self.config, prefetcher, self.trace(workload))
+        result.prefetcher = prefetcher_name
+        return result
+
+    def run_grid(
+        self,
+        workloads: Sequence[str],
+        prefetchers: Sequence[str],
+        progress: Callable[[str, str], None] | None = None,
+    ) -> ResultGrid:
+        """Simulate the full (workload x prefetcher) grid."""
+        results: list[SimResult] = []
+        for workload in workloads:
+            for name in prefetchers:
+                if progress is not None:
+                    progress(workload, name)
+                results.append(self.run_one(workload, name))
+        return ResultGrid(results)
+
+
+def run_grid(
+    workloads: Sequence[str],
+    prefetchers: Sequence[str],
+    config: SimConfig = REDUCED_CONFIG,
+    scale: float = 1.0,
+    budget_fraction: float = 1.0,
+    seed: int = 0,
+) -> ResultGrid:
+    """One-shot convenience wrapper around :class:`GridRunner`."""
+    runner = GridRunner(
+        config=config,
+        scale=scale,
+        budget_fraction=budget_fraction,
+        seed=seed,
+    )
+    return runner.run_grid(workloads, prefetchers)
+
+
+def clear_trace_cache() -> None:
+    """Drop the in-memory trace cache (tests use this for isolation)."""
+    _MEMORY_CACHE.clear()

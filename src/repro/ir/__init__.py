@@ -1,0 +1,67 @@
+"""Loop-structured kernel IR.
+
+The IR is the substitute for the paper's C benchmarks + LLVM toolchain:
+workloads are written as explicit loop nests over declared arrays, a
+compiler pass (:mod:`repro.passes.annotate`) marks tight innermost loops
+with static block ids, and the interpreter (:mod:`repro.ir.interp`)
+executes the kernel over real data, emitting the commit-order trace of
+memory accesses and ``BLOCK_BEGIN``/``BLOCK_END`` markers.
+
+Structure mirrors a classic compiler IR:
+
+* expressions (:class:`Const`, :class:`Var`, :class:`BinOp`) evaluate to
+  integers and support Python operators for readable kernel code;
+* statements (:class:`Assign`, :class:`Load`, :class:`Store`,
+  :class:`Compute`, :class:`If`, :class:`For`, :class:`While`) form the
+  loop-structured body;
+* :class:`Kernel` bundles array declarations with a statement body.
+"""
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Compute,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    Statement,
+    Store,
+    Var,
+    While,
+)
+from repro.ir.builder import c, v
+from repro.ir.validate import kernel_summary, number_kernel, validate_kernel
+from repro.ir.interp import ExecutionLimits, Interpreter, run_kernel
+from repro.ir.compile import CompiledKernel, compile_kernel, run_kernel_compiled
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "Statement",
+    "Assign",
+    "Load",
+    "Store",
+    "Compute",
+    "If",
+    "For",
+    "While",
+    "ArrayDecl",
+    "Kernel",
+    "c",
+    "v",
+    "validate_kernel",
+    "number_kernel",
+    "kernel_summary",
+    "Interpreter",
+    "ExecutionLimits",
+    "run_kernel",
+    "CompiledKernel",
+    "compile_kernel",
+    "run_kernel_compiled",
+]

@@ -1,0 +1,37 @@
+"""Tiny helpers that keep kernel definitions readable.
+
+Kernels are ordinary Python modules building IR trees; these shorthands
+(``v`` for variables, ``c`` for constants) keep index arithmetic close to
+the C source of the original benchmarks, e.g. the Parboil stencil index
+``IDX(nx, ny, x, y, z) = x + nx*(y + ny*z)`` becomes::
+
+    idx = v("i") + c(nx) * (v("j") + c(ny) * v("k"))
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import BinOp, Const, Expr, Var
+
+
+def v(name: str) -> Var:
+    """Reference the scalar variable ``name``."""
+    return Var(name)
+
+
+def c(value: int) -> Const:
+    """An integer constant."""
+    return Const(value)
+
+
+def minimum(lhs: Expr | int, rhs: Expr | int) -> BinOp:
+    """Element minimum of two expressions."""
+    return BinOp("min", _as_expr(lhs), _as_expr(rhs))
+
+
+def maximum(lhs: Expr | int, rhs: Expr | int) -> BinOp:
+    """Element maximum of two expressions."""
+    return BinOp("max", _as_expr(lhs), _as_expr(rhs))
+
+
+def _as_expr(value: Expr | int) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)

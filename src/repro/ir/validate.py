@@ -1,0 +1,142 @@
+"""Structural validation and static numbering of kernels.
+
+``number_kernel`` plays the role of instruction selection: it walks the
+kernel once, assigns a unique ``pc`` to every static Load/Store (the
+identifier PC-based prefetchers key on), and returns a summary of the
+static shape of the kernel (loops, memory operations per loop body).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.common.errors import ValidationError
+from repro.ir.nodes import (
+    Assign,
+    BinOp,
+    Compute,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    Statement,
+    Store,
+    Var,
+    While,
+)
+
+#: Synthetic code segment base so kernel "PCs" look like text addresses.
+PC_BASE = 0x400000
+#: Spacing between consecutive static memory instructions.
+PC_STRIDE = 0x10
+
+
+@dataclass
+class KernelSummary:
+    """Static shape of a kernel produced by :func:`number_kernel`.
+
+    Attributes:
+        static_memory_ops: number of static Load/Store nodes.
+        loops: every loop node in the kernel, outermost first.
+        innermost_loops: loops containing no nested loop.
+        array_names: arrays referenced by at least one memory op.
+    """
+
+    static_memory_ops: int = 0
+    loops: list[For | While] = field(default_factory=list)
+    innermost_loops: list[For | While] = field(default_factory=list)
+    array_names: set[str] = field(default_factory=set)
+
+
+def iter_statements(body: Sequence[Statement]) -> Iterator[Statement]:
+    """Depth-first iteration over every statement in a body."""
+    for statement in body:
+        yield statement
+        if isinstance(statement, (For, While)):
+            yield from iter_statements(statement.body)
+        elif isinstance(statement, If):
+            yield from iter_statements(statement.then_body)
+            yield from iter_statements(statement.else_body)
+
+
+def loop_contains_loop(loop: For | While) -> bool:
+    """True when ``loop`` has another loop anywhere in its body."""
+    return any(
+        isinstance(statement, (For, While))
+        for statement in iter_statements(loop.body)
+    )
+
+
+def count_memory_ops(body: Sequence[Statement]) -> int:
+    """Number of static Load/Store nodes in a body (all paths counted)."""
+    return sum(
+        1 for statement in iter_statements(body) if isinstance(statement, (Load, Store))
+    )
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Check that the kernel only references declared arrays and that
+    every expression is well-formed.  Raises :class:`ValidationError`.
+    """
+    declared = {decl.name for decl in kernel.arrays}
+    for statement in iter_statements(kernel.body):
+        if isinstance(statement, (Load, Store)):
+            if statement.array not in declared:
+                raise ValidationError(
+                    f"kernel '{kernel.name}': memory op references undeclared "
+                    f"array '{statement.array}'"
+                )
+            _validate_expr(statement.index, kernel.name)
+            if isinstance(statement, Store):
+                _validate_expr(statement.value, kernel.name)
+        elif isinstance(statement, Assign):
+            _validate_expr(statement.expr, kernel.name)
+        elif isinstance(statement, If):
+            _validate_expr(statement.cond, kernel.name)
+        elif isinstance(statement, For):
+            _validate_expr(statement.start, kernel.name)
+            _validate_expr(statement.stop, kernel.name)
+        elif isinstance(statement, While):
+            _validate_expr(statement.cond, kernel.name)
+
+
+def _validate_expr(expr: Expr, kernel_name: str) -> None:
+    if isinstance(expr, (Const, Var)):
+        return
+    if isinstance(expr, BinOp):
+        _validate_expr(expr.lhs, kernel_name)
+        _validate_expr(expr.rhs, kernel_name)
+        return
+    raise ValidationError(
+        f"kernel '{kernel_name}': unknown expression node {type(expr).__name__}"
+    )
+
+
+def number_kernel(kernel: Kernel) -> KernelSummary:
+    """Validate, assign PCs to static memory ops, and summarize.
+
+    Idempotent: renumbering a kernel yields the same PCs.
+    """
+    validate_kernel(kernel)
+    summary = KernelSummary()
+    next_pc = PC_BASE
+    for statement in iter_statements(kernel.body):
+        if isinstance(statement, (Load, Store)):
+            statement.pc = next_pc
+            next_pc += PC_STRIDE
+            summary.static_memory_ops += 1
+            summary.array_names.add(statement.array)
+        elif isinstance(statement, (For, While)):
+            summary.loops.append(statement)
+    summary.innermost_loops = [
+        loop for loop in summary.loops if not loop_contains_loop(loop)
+    ]
+    return summary
+
+
+def kernel_summary(kernel: Kernel) -> KernelSummary:
+    """Alias for :func:`number_kernel`, named for read-only callers."""
+    return number_kernel(kernel)

@@ -1,0 +1,25 @@
+"""Cache hierarchy substrate.
+
+Models the memory system of Table II: a 4-way L1 data cache and an
+inclusive, 8-way L2, both with 64-byte lines and true-LRU replacement.
+Prefetchers fetch into the L2 (Section VI: "the prefetchers were
+configured to fetch data to the L2 cache").
+"""
+
+from repro.memory.cache import CacheConfig, EvictionRecord, SetAssociativeCache
+from repro.memory.hierarchy import (
+    AccessOutcome,
+    AccessResult,
+    CacheHierarchy,
+    HierarchyConfig,
+)
+
+__all__ = [
+    "CacheConfig",
+    "EvictionRecord",
+    "SetAssociativeCache",
+    "AccessOutcome",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+]

@@ -1,0 +1,182 @@
+"""Set-associative cache with true-LRU replacement.
+
+The cache operates on *line numbers* (byte address >> 6), not byte
+addresses; address-to-line conversion happens once at the hierarchy
+boundary.  Each set is an ``OrderedDict`` keyed by line number whose
+insertion order encodes recency — ``move_to_end`` on a hit makes both
+lookup and replacement O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.bitops import is_power_of_two, log2_exact
+from repro.common.constants import DEFAULT_LINE_SIZE
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: label used in error messages and reports.
+        size_bytes: total capacity.
+        associativity: ways per set.
+        line_size: bytes per line (must match the hierarchy's line size).
+        latency: access latency in cycles (used by the timing model).
+        mshrs: miss-status holding registers; bounds the number of
+            concurrently outstanding misses at this level.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size: int = DEFAULT_LINE_SIZE
+    latency: int = 1
+    mshrs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0:
+            raise ConfigError(f"cache '{self.name}': size and ways must be positive")
+        if not is_power_of_two(self.line_size):
+            raise ConfigError(f"cache '{self.name}': line size must be a power of two")
+        if self.size_bytes % (self.line_size * self.associativity) != 0:
+            raise ConfigError(
+                f"cache '{self.name}': size {self.size_bytes} is not divisible by "
+                f"line_size*ways = {self.line_size * self.associativity}"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError(
+                f"cache '{self.name}': set count {self.num_sets} must be a power "
+                "of two for index extraction"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total line capacity."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """A line pushed out of the cache.
+
+    Attributes:
+        line: evicted line number.
+        was_prefetch: the line was installed by a prefetch and (at the
+            time of eviction) never demanded — this is what classifies a
+            prefetch as *wrong* in the Figure 13 taxonomy.
+    """
+
+    line: int
+    was_prefetch: bool
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    Besides presence, each resident line carries a single metadata bit:
+    whether it was brought in by a prefetch and not yet referenced by a
+    demand access.  The accuracy accounting of Figure 13 is built on that
+    bit.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._index_mask = config.num_sets - 1
+        # set index -> OrderedDict[line, prefetched_unused flag]
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._line_shift = log2_exact(config.line_size)
+
+    # -- queries -------------------------------------------------------------
+
+    def _set_of(self, line: int) -> OrderedDict[int, bool]:
+        return self._sets[line & self._index_mask]
+
+    def contains(self, line: int) -> bool:
+        """Presence check without touching LRU state."""
+        return line in self._set_of(line)
+
+    def is_unused_prefetch(self, line: int) -> bool:
+        """True if ``line`` is resident and still flagged prefetched-unused."""
+        return self._set_of(line).get(line, False)
+
+    def resident_lines(self) -> list[int]:
+        """All resident line numbers (testing/inspection helper)."""
+        return [line for cache_set in self._sets for line in cache_set]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    # -- operations ----------------------------------------------------------
+
+    def access(self, line: int) -> bool:
+        """Demand access: returns hit/miss and promotes the line to MRU.
+
+        A hit clears the prefetched-unused flag — the prefetch has now
+        been *used* and can no longer be classified as wrong.
+        """
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            cache_set[line] = False
+            cache_set.move_to_end(line)
+            return True
+        return False
+
+    def insert(self, line: int, from_prefetch: bool = False) -> EvictionRecord | None:
+        """Install ``line``, returning the victim if the set was full.
+
+        Demand fills install at MRU.  Prefetch fills install at *LRU*:
+        until a demand access promotes the line, it is the set's next
+        victim, so wrong prefetches age out without displacing the hot
+        working set (the standard pollution-bounding insertion policy).
+
+        Inserting a line that is already resident refreshes its LRU
+        position (and demotes a prefetched-unused flag on a demand
+        install) without evicting anything.
+        """
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            if not from_prefetch:
+                cache_set[line] = False
+                cache_set.move_to_end(line)
+            return None
+        victim: EvictionRecord | None = None
+        if len(cache_set) >= self.config.associativity:
+            victim_line, victim_flag = cache_set.popitem(last=False)
+            victim = EvictionRecord(victim_line, victim_flag)
+        cache_set[line] = from_prefetch
+        if from_prefetch:
+            cache_set.move_to_end(line, last=False)
+        return victim
+
+    def invalidate(self, line: int) -> EvictionRecord | None:
+        """Remove ``line`` if resident (used for inclusion back-invalidation)."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            flag = cache_set.pop(line)
+            return EvictionRecord(line, flag)
+        return None
+
+    def flush(self) -> list[EvictionRecord]:
+        """Empty the cache, returning every evicted line."""
+        evicted = [
+            EvictionRecord(line, flag)
+            for cache_set in self._sets
+            for line, flag in cache_set.items()
+        ]
+        for cache_set in self._sets:
+            cache_set.clear()
+        return evicted

@@ -1,0 +1,168 @@
+"""Two-level inclusive cache hierarchy.
+
+Demand accesses probe L1 then L2 then memory; fills install in both
+levels.  Prefetch fills install in L2 only (Table II / Section VI).
+Because the L2 is inclusive, an L2 eviction back-invalidates the line in
+L1; both kinds of L1 removals are reported so region-based prefetchers
+(SMS) can close their pattern generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.constants import DEFAULT_LINE_SIZE
+from repro.common.errors import ConfigError
+from repro.memory.cache import CacheConfig, EvictionRecord, SetAssociativeCache
+
+
+class AccessOutcome(Enum):
+    """Where a demand access was satisfied."""
+
+    L1_HIT = "l1_hit"
+    L2_HIT = "l2_hit"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Everything the engine needs to know about one demand access.
+
+    Attributes:
+        outcome: level that satisfied the access.
+        line: the line number accessed.
+        l2_fill_was_prefetch: on an L2 hit, whether the hit line was an
+            unused prefetch (turns the access into a *useful* prefetch).
+        l1_evictions: lines removed from L1 by this access (capacity
+            eviction on fill plus inclusion back-invalidations).
+        l2_eviction: line removed from L2 by this access, if any.
+    """
+
+    outcome: AccessOutcome
+    line: int
+    l2_fill_was_prefetch: bool = False
+    l1_evictions: tuple[EvictionRecord, ...] = ()
+    l2_eviction: EvictionRecord | None = None
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache hierarchy geometry (defaults follow the reduced scale;
+    :data:`repro.sim.config.PAPER_CONFIG` holds the Table II values)."""
+
+    l1: CacheConfig
+    l2: CacheConfig
+    line_size: int = DEFAULT_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.l1.line_size != self.line_size or self.l2.line_size != self.line_size:
+            raise ConfigError("all cache levels must share the hierarchy line size")
+        if self.l2.size_bytes < self.l1.size_bytes:
+            raise ConfigError(
+                "inclusive L2 must be at least as large as L1 "
+                f"({self.l2.size_bytes} < {self.l1.size_bytes})"
+            )
+
+
+@dataclass
+class HierarchyStats:
+    """Running counters maintained by the hierarchy."""
+
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    prefetch_fills: int = 0
+    useful_prefetch_hits: int = 0
+    wrong_prefetch_evictions: int = 0
+
+
+class CacheHierarchy:
+    """L1 + inclusive L2 with prefetch-aware accounting."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.l1 = SetAssociativeCache(config.l1)
+        self.l2 = SetAssociativeCache(config.l2)
+        self.stats = HierarchyStats()
+
+    def demand_access(self, line: int) -> AccessResult:
+        """Perform one committed load/store at line granularity."""
+        self.stats.accesses += 1
+        if self.l1.access(line):
+            # An L1 hit also refreshes the line's recency in L2 so the
+            # inclusive L2 does not victimize hot lines.
+            self.l2.access(line)
+            return AccessResult(AccessOutcome.L1_HIT, line)
+
+        self.stats.l1_misses += 1
+        l1_evictions: list[EvictionRecord] = []
+        if self.l2.contains(line):
+            was_prefetch = self.l2.is_unused_prefetch(line)
+            if was_prefetch:
+                self.stats.useful_prefetch_hits += 1
+            self.l2.access(line)  # clears the prefetch flag, updates LRU
+            victim = self.l1.insert(line)
+            if victim is not None:
+                l1_evictions.append(victim)
+            return AccessResult(
+                AccessOutcome.L2_HIT,
+                line,
+                l2_fill_was_prefetch=was_prefetch,
+                l1_evictions=tuple(l1_evictions),
+            )
+
+        self.stats.l2_misses += 1
+        l2_victim = self.l2.insert(line)
+        if l2_victim is not None:
+            if l2_victim.was_prefetch:
+                self.stats.wrong_prefetch_evictions += 1
+            # Inclusion: the line may not live in L1 once it leaves L2.
+            back = self.l1.invalidate(l2_victim.line)
+            if back is not None:
+                l1_evictions.append(back)
+        l1_victim = self.l1.insert(line)
+        if l1_victim is not None:
+            l1_evictions.append(l1_victim)
+        return AccessResult(
+            AccessOutcome.MEMORY,
+            line,
+            l1_evictions=tuple(l1_evictions),
+            l2_eviction=l2_victim,
+        )
+
+    def prefetch_fill(self, line: int) -> AccessResult | None:
+        """Install a completed prefetch into L2.
+
+        Returns ``None`` when the line is already resident (the prefetch
+        was redundant); otherwise an :class:`AccessResult` describing the
+        fill and any inclusion victims.
+        """
+        if self.l2.contains(line):
+            return None
+        self.stats.prefetch_fills += 1
+        l1_evictions: list[EvictionRecord] = []
+        l2_victim = self.l2.insert(line, from_prefetch=True)
+        if l2_victim is not None:
+            if l2_victim.was_prefetch:
+                self.stats.wrong_prefetch_evictions += 1
+            back = self.l1.invalidate(l2_victim.line)
+            if back is not None:
+                l1_evictions.append(back)
+        return AccessResult(
+            AccessOutcome.MEMORY,
+            line,
+            l1_evictions=tuple(l1_evictions),
+            l2_eviction=l2_victim,
+        )
+
+    def in_l2(self, line: int) -> bool:
+        """Presence probe used by prefetchers to skip already-cached lines
+        ("skipping addresses that are already cached", Section I)."""
+        return self.l2.contains(line)
+
+    def reset(self) -> None:
+        """Drop all cached state and zero the counters."""
+        self.l1.flush()
+        self.l2.flush()
+        self.stats = HierarchyStats()

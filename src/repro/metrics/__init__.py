@@ -1,0 +1,28 @@
+"""Evaluation metrics over simulation results.
+
+Turns lists of :class:`~repro.sim.results.SimResult` into the quantities
+the paper plots: MPKI (Figure 12), the timeliness/accuracy decomposition
+(Figure 13), IPC normalized to SMS (Figure 14), and performance/cost
+(Figure 15).
+"""
+
+from repro.metrics.aggregate import (
+    ResultGrid,
+    arithmetic_mean,
+    geometric_mean,
+)
+from repro.metrics.speedup import normalized_ipc, speedup_table
+from repro.metrics.perfcost import perf_cost, perf_cost_table
+from repro.metrics.timeliness import TimelinessBreakdown, timeliness_breakdown
+
+__all__ = [
+    "ResultGrid",
+    "arithmetic_mean",
+    "geometric_mean",
+    "normalized_ipc",
+    "speedup_table",
+    "perf_cost",
+    "perf_cost_table",
+    "TimelinessBreakdown",
+    "timeliness_breakdown",
+]

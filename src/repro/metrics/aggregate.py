@@ -1,0 +1,105 @@
+"""Result aggregation: the (workload x prefetcher) grid.
+
+Every evaluation figure is a view over the same grid of simulation
+results; :class:`ResultGrid` indexes it both ways and owns the averaging
+conventions (arithmetic means for additive quantities like MPKI,
+geometric means for ratios like speedups).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.common.errors import ConfigError
+from repro.sim.results import SimResult
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, appropriate for averaging normalized ratios."""
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+class ResultGrid:
+    """A set of results indexed by (workload, prefetcher)."""
+
+    def __init__(self, results: Iterable[SimResult]) -> None:
+        self._by_key: dict[tuple[str, str], SimResult] = {}
+        self.workloads: list[str] = []
+        self.prefetchers: list[str] = []
+        for result in results:
+            key = (result.workload, result.prefetcher)
+            if key in self._by_key:
+                raise ConfigError(
+                    f"duplicate result for workload={result.workload!r} "
+                    f"prefetcher={result.prefetcher!r}"
+                )
+            self._by_key[key] = result
+            if result.workload not in self.workloads:
+                self.workloads.append(result.workload)
+            if result.prefetcher not in self.prefetchers:
+                self.prefetchers.append(result.prefetcher)
+
+    def get(self, workload: str, prefetcher: str) -> SimResult:
+        """The result for one grid cell; raises if missing."""
+        try:
+            return self._by_key[(workload, prefetcher)]
+        except KeyError:
+            raise ConfigError(
+                f"no result for workload={workload!r} prefetcher={prefetcher!r}"
+            ) from None
+
+    def has(self, workload: str, prefetcher: str) -> bool:
+        """True when a result exists for the cell."""
+        return (workload, prefetcher) in self._by_key
+
+    def column(self, prefetcher: str) -> list[SimResult]:
+        """All results for one prefetcher, in workload order."""
+        return [
+            self.get(workload, prefetcher)
+            for workload in self.workloads
+            if self.has(workload, prefetcher)
+        ]
+
+    def metric_row(
+        self, workload: str, metric: Callable[[SimResult], float]
+    ) -> dict[str, float]:
+        """metric per prefetcher for one workload."""
+        return {
+            prefetcher: metric(self.get(workload, prefetcher))
+            for prefetcher in self.prefetchers
+            if self.has(workload, prefetcher)
+        }
+
+    def metric_average(
+        self,
+        prefetcher: str,
+        metric: Callable[[SimResult], float],
+        mean: Callable[[Sequence[float]], float] = arithmetic_mean,
+        workloads: Sequence[str] | None = None,
+    ) -> float:
+        """Average of a metric over workloads for one prefetcher."""
+        selected = workloads if workloads is not None else self.workloads
+        values = [
+            metric(self.get(workload, prefetcher))
+            for workload in selected
+            if self.has(workload, prefetcher)
+        ]
+        return mean(values)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self):
+        return iter(self._by_key.values())

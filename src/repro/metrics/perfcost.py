@@ -1,0 +1,53 @@
+"""Performance/cost (Figure 15).
+
+The paper contrasts performance with the memory traffic it cost:
+``IPC / bytes read``, normalized so that the no-prefetch configuration
+scores exactly 1.0.  A prefetcher below 1.0 bought its speed with
+disproportionate bandwidth (the paper's stencil example) or slowed the
+machine down outright.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+from repro.metrics.aggregate import ResultGrid, geometric_mean
+
+
+def perf_cost(grid: ResultGrid, workload: str, prefetcher: str,
+              baseline: str = "no-prefetch") -> float:
+    """(IPC / bytes) of ``prefetcher`` relative to ``baseline``."""
+    result = grid.get(workload, prefetcher)
+    base = grid.get(workload, baseline)
+    if result.bytes_read <= 0 or base.bytes_read <= 0 or base.ipc <= 0:
+        raise ConfigError(
+            f"degenerate bytes/IPC for perf-cost on {workload!r}"
+        )
+    ratio = result.ipc / result.bytes_read
+    base_ratio = base.ipc / base.bytes_read
+    return ratio / base_ratio
+
+
+def perf_cost_table(
+    grid: ResultGrid,
+    baseline: str = "no-prefetch",
+    workloads: Sequence[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-workload performance/cost plus geometric-mean ``average``."""
+    selected = list(workloads) if workloads is not None else grid.workloads
+    table: dict[str, dict[str, float]] = {}
+    for workload in selected:
+        table[workload] = {
+            prefetcher: perf_cost(grid, workload, prefetcher, baseline)
+            for prefetcher in grid.prefetchers
+            if grid.has(workload, prefetcher)
+        }
+    table["average"] = {
+        prefetcher: geometric_mean(
+            [table[workload][prefetcher] for workload in selected
+             if prefetcher in table[workload]]
+        )
+        for prefetcher in grid.prefetchers
+    }
+    return table

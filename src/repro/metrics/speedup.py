@@ -1,0 +1,49 @@
+"""IPC normalization (Figure 14).
+
+The paper presents performance as IPC normalized to the SMS prefetcher,
+"since it is the best performing non-CBWS prefetcher".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+from repro.metrics.aggregate import ResultGrid, geometric_mean
+
+
+def normalized_ipc(grid: ResultGrid, workload: str, prefetcher: str,
+                   baseline: str = "sms") -> float:
+    """IPC of ``prefetcher`` over IPC of ``baseline`` on one workload."""
+    base = grid.get(workload, baseline).ipc
+    if base <= 0:
+        raise ConfigError(
+            f"baseline {baseline!r} has non-positive IPC on {workload!r}"
+        )
+    return grid.get(workload, prefetcher).ipc / base
+
+
+def speedup_table(
+    grid: ResultGrid,
+    baseline: str = "sms",
+    workloads: Sequence[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Normalized IPC for every (workload, prefetcher) cell plus an
+    ``average`` row (geometric mean over workloads, the convention for
+    averaging ratios)."""
+    selected = list(workloads) if workloads is not None else grid.workloads
+    table: dict[str, dict[str, float]] = {}
+    for workload in selected:
+        table[workload] = {
+            prefetcher: normalized_ipc(grid, workload, prefetcher, baseline)
+            for prefetcher in grid.prefetchers
+            if grid.has(workload, prefetcher)
+        }
+    table["average"] = {
+        prefetcher: geometric_mean(
+            [table[workload][prefetcher] for workload in selected
+             if prefetcher in table[workload]]
+        )
+        for prefetcher in grid.prefetchers
+    }
+    return table

@@ -1,0 +1,53 @@
+"""Timeliness and accuracy decomposition (Figure 13).
+
+Expresses every demand L2 access as one of the five scenarios of
+Section VII-B — timely, shorter-waiting-time, non-timely, missing,
+wrong — scaled to the percentage of demand L2 accesses (wrong prefetches
+are additional traffic, so they stack beyond 100% exactly as the figure
+draws them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import DemandClass, SimResult
+
+
+@dataclass(frozen=True)
+class TimelinessBreakdown:
+    """One stacked bar of Figure 13 (fractions of demand L2 accesses).
+
+    ``plain_hit`` is the remainder the paper does not attribute to the
+    prefetcher (ordinary L2 hits); the five paper categories plus
+    ``plain_hit`` sum to 1.0, with ``wrong`` stacked on top.
+    """
+
+    workload: str
+    prefetcher: str
+    timely: float
+    shorter_waiting: float
+    non_timely: float
+    missing: float
+    plain_hit: float
+    wrong: float
+
+    @property
+    def covered(self) -> float:
+        """Fraction of demand L2 accesses the prefetcher helped
+        (timely + shorter-waiting-time)."""
+        return self.timely + self.shorter_waiting
+
+
+def timeliness_breakdown(result: SimResult) -> TimelinessBreakdown:
+    """Compute the Figure 13 stacked-bar fractions for one result."""
+    return TimelinessBreakdown(
+        workload=result.workload,
+        prefetcher=result.prefetcher,
+        timely=result.class_fraction(DemandClass.TIMELY),
+        shorter_waiting=result.class_fraction(DemandClass.SHORTER_WAITING),
+        non_timely=result.class_fraction(DemandClass.NON_TIMELY),
+        missing=result.class_fraction(DemandClass.MISSING),
+        plain_hit=result.class_fraction(DemandClass.PLAIN_HIT),
+        wrong=result.wrong_fraction,
+    )

@@ -1,0 +1,29 @@
+"""Compiler passes over the kernel IR.
+
+These stand in for the paper's LLVM work:
+
+* :mod:`repro.passes.annotate` is the dedicated pass that finds tight
+  innermost loops and tags them with static block ids (the
+  ``BLOCK_BEGIN``/``BLOCK_END`` instrumentation of Section IV-A);
+* :mod:`repro.passes.loopstats` measures the fraction of runtime spent
+  inside the annotated loops (Figure 1).
+"""
+
+from repro.passes.annotate import (
+    AnnotationReport,
+    AnnotatedLoop,
+    SkippedLoop,
+    annotate_tight_loops,
+    clear_annotations,
+)
+from repro.passes.loopstats import LoopRuntimeStats, loop_runtime_stats
+
+__all__ = [
+    "AnnotationReport",
+    "AnnotatedLoop",
+    "SkippedLoop",
+    "annotate_tight_loops",
+    "clear_annotations",
+    "LoopRuntimeStats",
+    "loop_runtime_stats",
+]

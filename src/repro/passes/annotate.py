@@ -1,0 +1,126 @@
+"""Tight innermost-loop annotation pass.
+
+This is the software half of the CBWS scheme (Section IV-A): a compiler
+pass walks the loop structure, selects tight innermost loops, and gives
+each one a unique static identifier.  At run time the interpreter brackets
+every iteration of an annotated loop with ``BLOCK_BEGIN(id)`` /
+``BLOCK_END(id)`` events — the two new ISA instructions of the paper.
+
+Selection criteria, mirroring the paper's notion of a *tight* loop:
+
+* the loop is innermost (contains no nested loop);
+* its body contains at least one memory operation (a loop that touches no
+  memory gains nothing from prefetch tracking);
+* its body has at most ``max_static_memory_ops`` static memory
+  instructions — blocks larger than the 16-line CBWS buffer cannot be
+  captured anyway, so the compiler declines enormous bodies up front;
+* the loop is not marked ``no_block`` (the escape hatch that models code
+  the real pass skips, e.g. loops containing calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import For, Kernel, While
+from repro.ir.validate import count_memory_ops, loop_contains_loop, iter_statements
+
+#: Default ceiling on static memory operations for a "tight" loop body.
+#: Chosen to comfortably exceed the 16-entry CBWS buffer while rejecting
+#: flattened mega-loops.
+DEFAULT_MAX_STATIC_MEMORY_OPS = 32
+
+
+@dataclass(frozen=True)
+class AnnotatedLoop:
+    """One loop the pass tagged.
+
+    Attributes:
+        block_id: the static identifier assigned to the loop.
+        loop_kind: ``"for"`` or ``"while"``.
+        static_memory_ops: memory instructions in the loop body.
+    """
+
+    block_id: int
+    loop_kind: str
+    static_memory_ops: int
+
+
+@dataclass(frozen=True)
+class SkippedLoop:
+    """One innermost loop the pass declined to tag, and why."""
+
+    loop_kind: str
+    reason: str
+
+
+@dataclass
+class AnnotationReport:
+    """Outcome of running the pass on one kernel."""
+
+    kernel_name: str
+    annotated: list[AnnotatedLoop] = field(default_factory=list)
+    skipped: list[SkippedLoop] = field(default_factory=list)
+
+    @property
+    def block_count(self) -> int:
+        """Number of static code blocks created."""
+        return len(self.annotated)
+
+
+def clear_annotations(kernel: Kernel) -> None:
+    """Remove all block ids from a kernel (pass is then re-runnable)."""
+    for statement in iter_statements(kernel.body):
+        if isinstance(statement, (For, While)):
+            statement.block_id = None
+
+
+def annotate_tight_loops(
+    kernel: Kernel,
+    max_static_memory_ops: int = DEFAULT_MAX_STATIC_MEMORY_OPS,
+    first_block_id: int = 0,
+) -> AnnotationReport:
+    """Tag every tight innermost loop of ``kernel`` with a static block id.
+
+    The pass is idempotent: previous annotations are cleared before ids
+    are assigned, so re-running produces identical ids.
+
+    Args:
+        kernel: kernel to annotate (mutated in place).
+        max_static_memory_ops: tightness ceiling; bodies with more static
+            memory instructions are skipped.
+        first_block_id: id assigned to the first annotated loop.  Distinct
+            kernels can be given disjoint id ranges when traces are merged.
+
+    Returns:
+        A report listing annotated and skipped loops in program order.
+    """
+    clear_annotations(kernel)
+    report = AnnotationReport(kernel_name=kernel.name)
+    next_id = first_block_id
+    for statement in iter_statements(kernel.body):
+        if not isinstance(statement, (For, While)):
+            continue
+        kind = "for" if isinstance(statement, For) else "while"
+        if loop_contains_loop(statement):
+            continue  # not innermost; never a candidate
+        if statement.no_block:
+            report.skipped.append(SkippedLoop(kind, "no_block pragma"))
+            continue
+        memory_ops = count_memory_ops(statement.body)
+        if memory_ops == 0:
+            report.skipped.append(SkippedLoop(kind, "no memory operations"))
+            continue
+        if memory_ops > max_static_memory_ops:
+            report.skipped.append(
+                SkippedLoop(
+                    kind,
+                    f"{memory_ops} static memory ops exceed the "
+                    f"tightness ceiling of {max_static_memory_ops}",
+                )
+            )
+            continue
+        statement.block_id = next_id
+        report.annotated.append(AnnotatedLoop(next_id, kind, memory_ops))
+        next_id += 1
+    return report

@@ -1,0 +1,178 @@
+"""Global history buffer prefetching (Nesbit & Smith, HPCA 2004).
+
+The GHB is a circular FIFO of recent *miss* addresses.  An index table
+maps a key to the most recent GHB entry created for that key, and each
+entry carries a link pointer to the previous entry with the same key —
+walking links recovers the per-key address history even though the buffer
+itself is globally ordered.
+
+Two flavours, selected by the key function (Table II evaluates both):
+
+* **G/DC** (global delta correlation): a single global key; the chain is
+  simply the global miss stream.
+* **PC/DC** (PC-localized delta correlation): key = PC of the missing
+  load/store, recovering per-instruction streams.
+
+Prediction uses delta correlation: compute the delta stream of the chain,
+take the most recent ``match_length`` deltas as the correlation key, find
+its most recent earlier occurrence, and replay the deltas that followed
+it (up to ``degree``).  As the paper notes when contrasting with CBWS,
+this triggers only on misses and uses a static, conservative depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.common.errors import ConfigError
+from repro.prefetchers.base import DemandInfo, Prefetcher
+from repro.prefetchers.storage import ghb_gdc_storage, ghb_pcdc_storage
+
+#: Sentinel key for the single global chain in G/DC mode.
+_GLOBAL_KEY = -1
+
+
+@dataclass(frozen=True)
+class GhbConfig:
+    """Geometry of the GHB prefetcher (Table II values as defaults).
+
+    Attributes:
+        mode: ``"global"`` for G/DC, ``"pc"`` for PC/DC.
+        buffer_entries: GHB FIFO depth (fully associative index table of
+            the same order).
+        history_length: Table II "History Length" — the correlation key
+            uses ``history_length - 1`` deltas (3 addresses span 2 deltas).
+        degree: predicted deltas replayed per trigger.
+        pc_bits / stride_bits: field widths for storage accounting.
+    """
+
+    mode: Literal["global", "pc"] = "pc"
+    buffer_entries: int = 256
+    history_length: int = 3
+    degree: int = 3
+    pc_bits: int = 48
+    stride_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("global", "pc"):
+            raise ConfigError(f"ghb: unknown mode {self.mode!r}")
+        if self.buffer_entries <= 0:
+            raise ConfigError("ghb: buffer must have at least one entry")
+        if self.history_length < 2:
+            raise ConfigError("ghb: history length must be at least 2")
+        if self.degree <= 0:
+            raise ConfigError("ghb: degree must be positive")
+
+    @property
+    def match_length(self) -> int:
+        """Deltas compared when searching the history."""
+        return self.history_length - 1
+
+
+class GlobalHistoryBuffer:
+    """The circular miss-address FIFO plus per-key link pointers.
+
+    Entries are addressed by a monotonically increasing serial number;
+    an entry is still live while ``serial > newest_serial - capacity``.
+    Stale link pointers (to overwritten entries) terminate chain walks,
+    exactly as pointer invalidation does in the hardware structure.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigError("GHB capacity must be positive")
+        self.capacity = capacity
+        self._lines: list[int] = [0] * capacity
+        self._links: list[int] = [-1] * capacity
+        self._serials: list[int] = [-1] * capacity
+        self._next_serial = 0
+        self._head: dict[int, int] = {}  # key -> serial of newest entry
+
+    def push(self, key: int, line: int) -> None:
+        """Append a miss for ``key``, linking it to the key's last entry."""
+        serial = self._next_serial
+        slot = serial % self.capacity
+        self._lines[slot] = line
+        self._links[slot] = self._head.get(key, -1)
+        self._serials[slot] = serial
+        self._head[key] = serial
+        self._next_serial = serial + 1
+
+    def chain(self, key: int, max_length: int) -> list[int]:
+        """Lines for ``key``, newest first, following live link pointers."""
+        out: list[int] = []
+        serial = self._head.get(key, -1)
+        oldest_live = self._next_serial - self.capacity
+        while serial >= 0 and serial >= oldest_live and len(out) < max_length:
+            slot = serial % self.capacity
+            if self._serials[slot] != serial:
+                break  # entry overwritten; pointer is stale
+            out.append(self._lines[slot])
+            serial = self._links[slot]
+        return out
+
+    def __len__(self) -> int:
+        return min(self._next_serial, self.capacity)
+
+    def clear(self) -> None:
+        """Reset to the empty state."""
+        self._links = [-1] * self.capacity
+        self._serials = [-1] * self.capacity
+        self._next_serial = 0
+        self._head.clear()
+
+
+class GhbPrefetcher(Prefetcher):
+    """GHB G/DC or PC/DC, selected by :attr:`GhbConfig.mode`."""
+
+    def __init__(self, config: GhbConfig | None = None) -> None:
+        self.config = config or GhbConfig()
+        self.name = "ghb-g/dc" if self.config.mode == "global" else "ghb-pc/dc"
+        self.buffer = GlobalHistoryBuffer(self.config.buffer_entries)
+
+    def on_access(self, info: DemandInfo) -> list[int]:
+        if info.l1_hit:
+            return []  # the GHB records cache misses only
+        key = _GLOBAL_KEY if self.config.mode == "global" else info.pc
+        self.buffer.push(key, info.line)
+        return self._predict(key)
+
+    def _predict(self, key: int) -> list[int]:
+        config = self.config
+        newest_first = self.buffer.chain(key, config.buffer_entries)
+        if len(newest_first) < config.match_length + 2:
+            return []
+        # Time-ascending addresses and their delta stream.
+        addresses = newest_first[::-1]
+        deltas = [
+            addresses[i + 1] - addresses[i] for i in range(len(addresses) - 1)
+        ]
+        match = deltas[-config.match_length :]
+        # Find the most recent earlier occurrence of the match window
+        # (the canonical delta-correlation walk).  Only the deltas
+        # between the match and the head are replayed, so a constant
+        # stream yields a short replay — the "static, conservative
+        # configuration" the paper contrasts CBWS against.
+        search_end = len(deltas) - config.match_length - 1
+        for position in range(search_end, -1, -1):
+            if deltas[position : position + config.match_length] == match:
+                predicted = deltas[
+                    position + config.match_length :
+                    position + config.match_length + config.degree
+                ]
+                base = addresses[-1]
+                candidates = []
+                for delta in predicted:
+                    base += delta
+                    candidates.append(base)
+                return candidates
+        return []
+
+    def storage_bits(self) -> int:
+        if self.config.mode == "global":
+            return ghb_gdc_storage(self.config).bits
+        return ghb_pcdc_storage(self.config).bits
+
+    def reset(self) -> None:
+        self.buffer.clear()

@@ -1,0 +1,17 @@
+"""The no-prefetch baseline."""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import DemandInfo, Prefetcher
+
+
+class NoPrefetcher(Prefetcher):
+    """Never predicts anything; the Figure 12/14 baseline."""
+
+    name = "no-prefetch"
+
+    def on_access(self, info: DemandInfo) -> list[int]:
+        return []
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,132 @@
+"""Hardware storage accounting (Table III).
+
+Each function reproduces the paper's storage arithmetic for one
+prefetcher from its configuration object.  Configs are duck-typed (any
+object with the right attributes) so this module stays import-free of
+the prefetcher implementations that use it.
+
+Paper reference figures (Table III):
+
+==========  ==========================================================
+Stride      2.25 KB = (48-bit PC + 2 x 12-bit stride) x 256
+GHB G/DC    2.25 KB = (6 x 12-bit strides) x 256
+GHB PC/DC   3.75 KB = G/DC + 48-bit PC x 256
+SMS         ~5 KB   = AGT + Filter + PHT
+CBWS        < 1 KB  (Figure 8 component sizes)
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class StorageEstimate:
+    """A storage bill of materials.
+
+    Attributes:
+        name: prefetcher label.
+        bits: total storage in bits.
+        breakdown: component label -> bits.
+    """
+
+    name: str
+    bits: int
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def kilobytes(self) -> float:
+        """Storage in kilobytes (1 KB = 8192 bits)."""
+        return self.bits / 8192.0
+
+
+def stride_storage(config: Any) -> StorageEstimate:
+    """(PC + 2 strides) per entry: the RPT stores the last stride and the
+    observed stride under evaluation."""
+    per_entry = config.pc_bits + 2 * config.stride_bits
+    bits = per_entry * config.table_entries
+    return StorageEstimate(
+        "stride",
+        bits,
+        {"rpt": bits},
+    )
+
+
+def ghb_gdc_storage(config: Any) -> StorageEstimate:
+    """(history strides + prefetch strides) per GHB entry."""
+    per_entry = (config.history_length + config.degree) * config.stride_bits
+    bits = per_entry * config.buffer_entries
+    return StorageEstimate("ghb-g/dc", bits, {"ghb": bits})
+
+
+def ghb_pcdc_storage(config: Any) -> StorageEstimate:
+    """G/DC storage plus the PC index table."""
+    gdc = ghb_gdc_storage(config)
+    index_bits = config.pc_bits * config.buffer_entries
+    return StorageEstimate(
+        "ghb-pc/dc",
+        gdc.bits + index_bits,
+        {"ghb": gdc.bits, "pc index": index_bits},
+    )
+
+
+def sms_storage(config: Any) -> StorageEstimate:
+    """AGT + filter + PHT, with the paper's field widths.
+
+    Paper formula: (offset + PC + tag) x 32 for the AGT,
+    (offset + PC + tag + pattern) x 32 for the filter,
+    (pattern + PC + offset) x 512 for the PHT.
+    """
+    pattern_bits = config.lines_per_region
+    agt = (config.offset_bits + config.pc_bits + config.tag_bits) * config.agt_entries
+    filter_table = (
+        config.offset_bits + config.pc_bits + config.tag_bits + pattern_bits
+    ) * config.filter_entries
+    pht = (pattern_bits + config.pc_bits + config.offset_bits) * config.pht_entries
+    return StorageEstimate(
+        "sms",
+        agt + filter_table + pht,
+        {"agt": agt, "filter": filter_table, "pht": pht},
+    )
+
+
+def cbws_storage(config: Any) -> StorageEstimate:
+    """Figure 8 component sizes for the CBWS prefetcher.
+
+    Components: the current-CBWS FIFO (32-bit line addresses), the four
+    predecessor CBWSs, the incremental differential buffers (16-bit
+    strides), the history shift registers (3-deep x 12-bit hashes), the
+    16-entry differential history table (16-bit tag + stored vector),
+    and the predicted-differentials buffer.
+    """
+    vector = config.max_vector_members
+    current_cbws = vector * config.line_addr_bits
+    last_cbws = config.max_step * vector * config.line_addr_bits
+    current_diffs = config.max_step * vector * config.stride_bits
+    shift_registers = config.max_step * config.history_depth * config.hash_bits
+    table = config.table_entries * (
+        config.tag_bits + vector * config.stride_bits
+    )
+    predicted = config.max_step * vector * config.stride_bits
+    total = (
+        current_cbws
+        + last_cbws
+        + current_diffs
+        + shift_registers
+        + table
+        + predicted
+    )
+    return StorageEstimate(
+        "cbws",
+        total,
+        {
+            "current cbws": current_cbws,
+            "last cbws": last_cbws,
+            "current differentials": current_diffs,
+            "history shift registers": shift_registers,
+            "differential history table": table,
+            "predicted differentials": predicted,
+        },
+    )

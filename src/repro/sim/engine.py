@@ -1,0 +1,260 @@
+"""The trace-driven simulation engine.
+
+Drives one prefetcher over one trace on the Table II machine model and
+produces a :class:`~repro.sim.results.SimResult`.
+
+Timing model
+------------
+
+The core retires ``width`` instructions per cycle; demand misses add
+stall cycles on top.  Two mechanisms shape the stalls:
+
+* **Memory-level parallelism** — an interval model: a miss opens a *miss
+  window*; later misses that issue while the window is open, within ROB
+  reach of its first miss, and within the L1 MSHR budget join the window
+  and only extend its end.  The window's stall (its wall-clock span minus
+  the instruction progress made under it) is charged when it closes, so
+  independent misses overlap instead of serializing.
+* **Prefetch timeliness** — prefetch candidates enter a bandwidth-limited
+  issue queue (one issue per ``issue_interval`` cycles).  A demand access
+  can therefore find its line already in L2 (*timely*), still in flight
+  (*shorter-waiting-time*: it stalls only for the remainder), stuck in
+  the queue (*non-timely*), or not covered at all (*missing*).
+
+Prefetches fill into L2 only, never L1 (Table II / Section VI).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.prefetchers.base import DemandInfo, Prefetcher
+from repro.sim.config import SimConfig
+from repro.sim.results import DemandClass, SimResult
+from repro.trace.events import BLOCK_BEGIN, BLOCK_END, MEMORY_ACCESS
+from repro.trace.stream import Trace
+from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
+
+
+class SimulationEngine:
+    """One machine: a hierarchy, a prefetch path, and a prefetcher."""
+
+    def __init__(self, config: SimConfig, prefetcher: Prefetcher) -> None:
+        self.config = config
+        self.prefetcher = prefetcher
+        self.hierarchy = CacheHierarchy(config.hierarchy)
+
+    def run(self, trace: Trace) -> SimResult:
+        """Simulate ``trace`` and return the measured result."""
+        config = self.config
+        core = config.core
+        prefetch_path = config.prefetch
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        line_shift = 6  # 64-byte lines
+        line_size = config.hierarchy.line_size
+
+        result = SimResult(
+            workload=trace.name,
+            prefetcher=prefetcher.name,
+            instructions=trace.instructions,
+            storage_bits=prefetcher.storage_bits(),
+        )
+        classes = result.classes
+
+        inv_width = 1.0 / core.width
+        rob = core.rob_entries
+        l2_extra = float(core.l2_latency - core.l1_latency)
+        mem_latency = float(core.memory_latency)
+        mshr_limit = config.hierarchy.l1.mshrs
+        issue_interval = float(prefetch_path.issue_interval)
+        queue_capacity = prefetch_path.queue_capacity
+        max_in_flight = prefetch_path.max_in_flight
+
+        stall = 0.0
+        # Miss-window (interval-model) state: while a window is open, the
+        # issue clock excludes its pending stall so overlapping misses can
+        # be detected; the pending stall is charged when the window closes.
+        window_start_icount = -1  # -1 means no open window
+        window_start_time = 0.0
+        window_end = 0.0
+        window_count = 0
+
+        queue: deque[int] = deque()
+        queued: set[int] = set()
+        in_flight: dict[int, float] = {}
+        fill_heap: list[tuple[float, int]] = []
+        next_issue = 0.0
+        caught_in_flight = 0
+
+        def drain_completions(now: float) -> None:
+            """Install prefetches whose memory access has completed."""
+            while fill_heap and fill_heap[0][0] <= now:
+                completion, line = heapq.heappop(fill_heap)
+                if in_flight.get(line) != completion:
+                    continue  # cancelled: the demand stream claimed it
+                del in_flight[line]
+                fill = hierarchy.prefetch_fill(line)
+                if fill is not None:
+                    result.prefetch_fills += 1
+                    for eviction in fill.l1_evictions:
+                        prefetcher.on_l1_eviction(eviction.line)
+
+        def issue_prefetches(now: float) -> None:
+            """Consume issue bandwidth moving queued candidates to memory."""
+            nonlocal next_issue
+            while queue and next_issue <= now and len(in_flight) < max_in_flight:
+                line = queue.popleft()
+                if line not in queued:
+                    continue  # stale: consumed by a demand access already
+                queued.discard(line)
+                if hierarchy.in_l2(line) or line in in_flight:
+                    continue  # redundant; never reaches the bus
+                completion = next_issue + mem_latency
+                in_flight[line] = completion
+                heapq.heappush(fill_heap, (completion, line))
+                result.prefetches_issued += 1
+                result.prefetch_bytes_read += line_size
+                next_issue += issue_interval
+
+        def enqueue_candidates(candidates: list[int], now: float) -> None:
+            nonlocal next_issue
+            if not candidates:
+                return
+            if not queue and next_issue < now:
+                next_issue = now
+            for line in candidates:
+                if line in queued or line in in_flight or hierarchy.in_l2(line):
+                    continue
+                if len(queue) >= queue_capacity:
+                    break  # hardware queue is full; newest candidates drop
+                queue.append(line)
+                queued.add(line)
+
+        for event in trace.events:
+            now = event.icount * inv_width + stall
+            kind = event.kind
+
+            if kind == MEMORY_ACCESS:
+                issue_prefetches(now)
+                drain_completions(now)
+
+                line = event.address >> line_shift
+                access = hierarchy.demand_access(line)
+                outcome = access.outcome
+                result.demand_accesses += 1
+
+                latency = 0.0
+                if outcome is AccessOutcome.L1_HIT:
+                    info_l1_hit = True
+                    info_l2_hit = True
+                else:
+                    result.l1_misses += 1
+                    info_l1_hit = False
+                    if outcome is AccessOutcome.L2_HIT:
+                        info_l2_hit = True
+                        latency = l2_extra
+                        if access.l2_fill_was_prefetch:
+                            classes[DemandClass.TIMELY] += 1
+                        else:
+                            classes[DemandClass.PLAIN_HIT] += 1
+                    else:  # memory
+                        info_l2_hit = False
+                        completion = in_flight.pop(line, None)
+                        if completion is not None:
+                            # Prefetch in flight: wait out the remainder.
+                            latency = max(0.0, completion - now)
+                            classes[DemandClass.SHORTER_WAITING] += 1
+                            caught_in_flight += 1
+                        elif line in queued:
+                            queued.discard(line)
+                            latency = mem_latency
+                            classes[DemandClass.NON_TIMELY] += 1
+                            result.llc_misses += 1
+                            result.demand_bytes_read += line_size
+                        else:
+                            latency = mem_latency
+                            classes[DemandClass.MISSING] += 1
+                            result.llc_misses += 1
+                            result.demand_bytes_read += line_size
+
+                    # MLP interval model: join the open miss window when
+                    # this miss issues under it, else close it (charging
+                    # its pending stall) and open a fresh one.
+                    if (
+                        window_start_icount >= 0
+                        and event.icount - window_start_icount <= rob
+                        and now < window_end
+                        and window_count < mshr_limit
+                    ):
+                        window_end = max(window_end, now + latency)
+                        window_count += 1
+                    else:
+                        if window_start_icount >= 0:
+                            # Progress under the window is capped at the
+                            # ROB depth: the core cannot run further
+                            # ahead of an outstanding miss than the
+                            # instructions that fit behind it.
+                            progress = min(
+                                event.icount - window_start_icount, rob
+                            ) * inv_width
+                            pending = (window_end - window_start_time) - progress
+                            if pending > 0.0:
+                                stall += pending
+                            now = event.icount * inv_width + stall
+                        window_start_icount = event.icount
+                        window_start_time = now
+                        window_end = now + latency
+                        window_count = 1
+
+                    for eviction in access.l1_evictions:
+                        prefetcher.on_l1_eviction(eviction.line)
+
+                info = DemandInfo(
+                    pc=event.pc,
+                    line=line,
+                    address=event.address,
+                    is_write=event.is_write,
+                    l1_hit=info_l1_hit,
+                    l2_hit=info_l2_hit,
+                )
+                enqueue_candidates(prefetcher.on_access(info), now)
+
+            elif kind == BLOCK_BEGIN:
+                prefetcher.on_block_begin(event.block_id)
+            elif kind == BLOCK_END:
+                issue_prefetches(now)
+                drain_completions(now)
+                enqueue_candidates(prefetcher.on_block_end(event.block_id), now)
+
+        # Close the final miss window before settling the clock.
+        if window_start_icount >= 0:
+            progress = min(
+                trace.instructions - window_start_icount, rob
+            ) * inv_width
+            pending = (window_end - window_start_time) - progress
+            if pending > 0.0:
+                stall += pending
+        result.cycles = trace.instructions * inv_width + stall
+        result.useful_prefetches = (
+            hierarchy.stats.useful_prefetch_hits + caught_in_flight
+        )
+        # Wrong = issued but never demanded: evicted unused, resident
+        # unused at the end, and still in flight at the end.
+        leftover_unused = sum(
+            1
+            for resident in hierarchy.l2.resident_lines()
+            if hierarchy.l2.is_unused_prefetch(resident)
+        )
+        result.wrong_prefetches = (
+            hierarchy.stats.wrong_prefetch_evictions
+            + leftover_unused
+            + len(in_flight)
+        )
+        return result
+
+
+def simulate(config: SimConfig, prefetcher: Prefetcher, trace: Trace) -> SimResult:
+    """Run one (prefetcher, trace) simulation on a fresh machine."""
+    return SimulationEngine(config, prefetcher).run(trace)

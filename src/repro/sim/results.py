@@ -1,0 +1,122 @@
+"""Simulation results and the Figure 13 demand-access taxonomy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class DemandClass(Enum):
+    """Classification of one demand L2 access (Section VII-B).
+
+    The five prefetcher-attributable outcomes of Figure 13, plus
+    ``PLAIN_HIT`` for L2 hits on lines the prefetcher did not bring in
+    (the remainder of demand accesses, not plotted by the paper).
+    """
+
+    #: Prefetch completed before the demand access; the miss was avoided.
+    TIMELY = "timely"
+    #: Prefetch was in flight; the demand waited only the remainder.
+    SHORTER_WAITING = "shorter-waiting-time"
+    #: The line was predicted and queued, but the prefetch was never issued.
+    NON_TIMELY = "non-timely"
+    #: No prefetch covered the line (never predicted, or evicted early).
+    MISSING = "missing"
+    #: L2 hit on a line that was not an unused prefetch.
+    PLAIN_HIT = "plain-hit"
+
+
+@dataclass
+class SimResult:
+    """Everything measured by one (workload, prefetcher) simulation.
+
+    Attributes:
+        workload / prefetcher: identifiers of the run.
+        instructions: committed instructions.
+        cycles: total execution cycles from the timing model.
+        demand_accesses: committed loads + stores.
+        l1_misses: demand accesses that reached the L2 (the Figure 13
+            denominator).
+        llc_misses: demand accesses that had to fetch from memory with no
+            prefetch coverage (the *missing* and *non-timely* classes).
+            Demands that catch an in-flight prefetch are counted as MSHR
+            hits, not new misses, matching how gem5-based MPKI plots can
+            reach ~0 while shorter-waiting fractions stay positive.  The
+            Figure 12 numerator.
+        classes: count per :class:`DemandClass`.
+        prefetches_issued: prefetch requests sent to memory.
+        prefetch_fills: prefetch lines actually installed in L2.
+        useful_prefetches: prefetched lines later referenced by a demand
+            access (timely + demand-caught-in-flight).
+        wrong_prefetches: prefetched lines never referenced — evicted
+            unused or still unused at end of simulation.
+        demand_bytes_read / prefetch_bytes_read: memory read traffic.
+        storage_bits: prefetcher hardware budget.
+    """
+
+    workload: str
+    prefetcher: str
+    instructions: int = 0
+    cycles: float = 0.0
+    demand_accesses: int = 0
+    l1_misses: int = 0
+    llc_misses: int = 0
+    classes: dict[DemandClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in DemandClass}
+    )
+    prefetches_issued: int = 0
+    prefetch_fills: int = 0
+    useful_prefetches: int = 0
+    wrong_prefetches: int = 0
+    demand_bytes_read: int = 0
+    prefetch_bytes_read: int = 0
+    storage_bits: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def mpki(self) -> float:
+        """Last-level-cache misses per kilo-instruction (Figure 12)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes read from memory (Figure 15 denominator)."""
+        return self.demand_bytes_read + self.prefetch_bytes_read
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches over all issued (classical accuracy metric)."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.useful_prefetches / self.prefetches_issued
+
+    def class_fraction(self, demand_class: DemandClass) -> float:
+        """One Figure 13 bar segment: class count / demand L2 accesses."""
+        if self.l1_misses == 0:
+            return 0.0
+        return self.classes[demand_class] / self.l1_misses
+
+    @property
+    def wrong_fraction(self) -> float:
+        """Wrong prefetches relative to demand L2 accesses (the Figure 13
+        segment drawn above 100%)."""
+        if self.l1_misses == 0:
+            return 0.0
+        return self.wrong_prefetches / self.l1_misses
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.workload:<28s} {self.prefetcher:<10s} "
+            f"IPC={self.ipc:6.3f} MPKI={self.mpki:7.2f} "
+            f"timely={self.class_fraction(DemandClass.TIMELY):5.1%} "
+            f"wrong={self.wrong_fraction:5.1%}"
+        )

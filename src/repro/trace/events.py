@@ -1,0 +1,112 @@
+"""Trace event types.
+
+Events use ``__slots__`` classes rather than dataclasses: traces run to
+millions of events and the simulation loop touches every one, so compact
+objects with cheap attribute access matter.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import LINE_SHIFT
+
+#: Event kind discriminators (also used as record tags in the binary format).
+MEMORY_ACCESS = 0
+BLOCK_BEGIN = 1
+BLOCK_END = 2
+
+
+class TraceEvent:
+    """Base class for all trace events.
+
+    Attributes:
+        kind: one of :data:`MEMORY_ACCESS`, :data:`BLOCK_BEGIN`,
+            :data:`BLOCK_END`.
+        icount: number of instructions committed *before* this event.
+            Monotonically non-decreasing along a trace; the timing model
+            uses it to convert instruction progress into cycles.
+    """
+
+    __slots__ = ("icount",)
+    kind: int = -1
+
+    def __init__(self, icount: int) -> None:
+        self.icount = icount
+
+
+class MemoryAccess(TraceEvent):
+    """A committed load or store.
+
+    Attributes:
+        pc: static instruction identifier.  The IR interpreter assigns a
+            unique pc to every static load/store node, mirroring the
+            program counter hardware prefetchers key on.
+        address: byte address accessed.
+        is_write: True for stores.
+    """
+
+    __slots__ = ("pc", "address", "is_write")
+    kind = MEMORY_ACCESS
+
+    def __init__(self, icount: int, pc: int, address: int, is_write: bool) -> None:
+        super().__init__(icount)
+        self.pc = pc
+        self.address = address
+        self.is_write = is_write
+
+    @property
+    def line(self) -> int:
+        """Cache line number of the accessed address."""
+        return self.address >> LINE_SHIFT
+
+    def __repr__(self) -> str:
+        op = "ST" if self.is_write else "LD"
+        return f"{op}(i={self.icount}, pc={self.pc:#x}, addr={self.address:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MemoryAccess)
+            and self.icount == other.icount
+            and self.pc == other.pc
+            and self.address == other.address
+            and self.is_write == other.is_write
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.icount, self.pc, self.address, self.is_write))
+
+
+class _BlockMarker(TraceEvent):
+    """Common shape of the two block-boundary markers."""
+
+    __slots__ = ("block_id",)
+
+    def __init__(self, icount: int, block_id: int) -> None:
+        super().__init__(icount)
+        self.block_id = block_id
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and self.icount == other.icount
+            and self.block_id == other.block_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.icount, self.block_id))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(i={self.icount}, block={self.block_id})"
+
+
+class BlockBegin(_BlockMarker):
+    """``BLOCK_BEGIN(id)`` — a tagged loop iteration starts."""
+
+    __slots__ = ()
+    kind = BLOCK_BEGIN
+
+
+class BlockEnd(_BlockMarker):
+    """``BLOCK_END(id)`` — the tagged loop iteration completed."""
+
+    __slots__ = ()
+    kind = BLOCK_END

@@ -1,0 +1,136 @@
+"""Binary trace serialization.
+
+The format is a small custom container:
+
+``header``  — magic ``b"CBWS"``, version u16, name length u16, name bytes,
+              instruction total u64, event count u64.
+``records`` — one tag byte per event followed by the event payload.
+              Memory accesses store the icount *delta* from the previous
+              event as a u32, which keeps files compact for long traces.
+
+Round-tripping is exact: ``read_trace(path)`` returns a trace equal to the
+one passed to ``write_trace``.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.common.errors import TraceError
+from repro.trace.events import (
+    BLOCK_BEGIN,
+    BLOCK_END,
+    MEMORY_ACCESS,
+    BlockBegin,
+    BlockEnd,
+    MemoryAccess,
+)
+from repro.trace.stream import Trace
+
+_MAGIC = b"CBWS"
+_VERSION = 1
+
+_HEADER = struct.Struct("<4sHH")
+_COUNTS = struct.Struct("<QQ")
+_MEM_RECORD = struct.Struct("<BIQQB")  # tag, icount delta, pc, address, is_write
+_BLOCK_RECORD = struct.Struct("<BII")  # tag, icount delta, block id
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize ``trace`` to ``path`` in the CBWS binary format."""
+    with open(path, "wb") as handle:
+        _write(trace, handle)
+
+
+def _write(trace: Trace, handle: BinaryIO) -> None:
+    name_bytes = trace.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise TraceError(f"trace name too long to serialize: {trace.name!r}")
+    handle.write(_HEADER.pack(_MAGIC, _VERSION, len(name_bytes)))
+    handle.write(name_bytes)
+    handle.write(_COUNTS.pack(trace.instructions, len(trace.events)))
+    last_icount = 0
+    for event in trace.events:
+        delta = event.icount - last_icount
+        if delta < 0:
+            raise TraceError("cannot serialize a trace with decreasing icount")
+        last_icount = event.icount
+        if event.kind == MEMORY_ACCESS:
+            handle.write(
+                _MEM_RECORD.pack(
+                    MEMORY_ACCESS,
+                    delta,
+                    event.pc,  # type: ignore[attr-defined]
+                    event.address,  # type: ignore[attr-defined]
+                    1 if event.is_write else 0,  # type: ignore[attr-defined]
+                )
+            )
+        elif event.kind in (BLOCK_BEGIN, BLOCK_END):
+            handle.write(
+                _BLOCK_RECORD.pack(event.kind, delta, event.block_id)  # type: ignore[attr-defined]
+            )
+        else:
+            raise TraceError(f"unknown event kind {event.kind}")
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    with open(path, "rb") as handle:
+        return _read(handle)
+
+
+def _read(handle: BinaryIO) -> Trace:
+    header = handle.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise TraceError("truncated trace header")
+    magic, version, name_length = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise TraceError(f"bad magic {magic!r}; not a CBWS trace file")
+    if version != _VERSION:
+        raise TraceError(f"unsupported trace version {version}")
+    name = handle.read(name_length).decode("utf-8")
+    counts = handle.read(_COUNTS.size)
+    if len(counts) < _COUNTS.size:
+        raise TraceError("truncated trace counts")
+    instructions, event_count = _COUNTS.unpack(counts)
+
+    events = []
+    icount = 0
+    for _ in range(event_count):
+        tag_byte = handle.read(1)
+        if not tag_byte:
+            raise TraceError("trace file truncated mid-stream")
+        tag = tag_byte[0]
+        if tag == MEMORY_ACCESS:
+            payload = handle.read(_MEM_RECORD.size - 1)
+            if len(payload) < _MEM_RECORD.size - 1:
+                raise TraceError("truncated memory access record")
+            delta, pc, address, is_write = struct.unpack("<IQQB", payload)
+            icount += delta
+            events.append(MemoryAccess(icount, pc, address, bool(is_write)))
+        elif tag in (BLOCK_BEGIN, BLOCK_END):
+            payload = handle.read(_BLOCK_RECORD.size - 1)
+            if len(payload) < _BLOCK_RECORD.size - 1:
+                raise TraceError("truncated block marker record")
+            delta, block_id = struct.unpack("<II", payload)
+            icount += delta
+            cls = BlockBegin if tag == BLOCK_BEGIN else BlockEnd
+            events.append(cls(icount, block_id))
+        else:
+            raise TraceError(f"unknown record tag {tag}")
+    return Trace(name, events, instructions)
+
+
+def trace_to_bytes(trace: Trace) -> bytes:
+    """Serialize a trace to an in-memory byte string (testing helper)."""
+    buffer = io.BytesIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_bytes(data: bytes) -> Trace:
+    """Deserialize a trace from bytes produced by :func:`trace_to_bytes`."""
+    return _read(io.BytesIO(data))

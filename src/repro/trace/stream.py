@@ -1,0 +1,172 @@
+"""Trace container and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.common.errors import TraceError
+from repro.trace.events import (
+    BLOCK_BEGIN,
+    BLOCK_END,
+    MEMORY_ACCESS,
+    BlockBegin,
+    BlockEnd,
+    MemoryAccess,
+    TraceEvent,
+)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary counts for a trace.
+
+    Attributes:
+        instructions: total committed instructions (including the final
+            stretch after the last event).
+        memory_accesses: number of committed loads + stores.
+        loads: committed loads.
+        stores: committed stores.
+        blocks: number of completed code block instances (BLOCK_END count).
+        block_instructions: instructions committed inside annotated blocks;
+            ``block_instructions / instructions`` is the Figure 1 metric.
+        distinct_block_ids: number of static code blocks observed.
+    """
+
+    instructions: int
+    memory_accesses: int
+    loads: int
+    stores: int
+    blocks: int
+    block_instructions: int
+    distinct_block_ids: int
+
+    @property
+    def loop_fraction(self) -> float:
+        """Fraction of runtime (instructions) spent inside tight loops."""
+        if self.instructions == 0:
+            return 0.0
+        return self.block_instructions / self.instructions
+
+
+class Trace:
+    """An in-order sequence of trace events plus metadata.
+
+    Args:
+        name: workload identifier the trace was generated from.
+        events: events in commit order.
+        instructions: total committed instruction count.  Must be at least
+            the icount of the last event; the tail difference models
+            non-memory work after the final access.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        events: Sequence[TraceEvent] | Iterable[TraceEvent],
+        instructions: int,
+    ) -> None:
+        self.name = name
+        self.events: list[TraceEvent] = list(events)
+        self.instructions = instructions
+        if self.events and instructions < self.events[-1].icount:
+            raise TraceError(
+                f"trace '{name}': instruction total {instructions} is below the "
+                f"last event icount {self.events[-1].icount}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self.events[index]
+
+    def memory_events(self) -> Iterator[MemoryAccess]:
+        """Iterate only the committed loads and stores."""
+        for event in self.events:
+            if event.kind == MEMORY_ACCESS:
+                yield event  # type: ignore[misc]
+
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`TraceError` on the
+        first violation.
+
+        Invariants:
+          * icount is monotonically non-decreasing,
+          * block markers are balanced and non-nested (tight innermost
+            loops never nest),
+          * every BLOCK_END matches the id of the open BLOCK_BEGIN.
+        """
+        last_icount = 0
+        open_block: int | None = None
+        for position, event in enumerate(self.events):
+            if event.icount < last_icount:
+                raise TraceError(
+                    f"trace '{self.name}': icount decreases at event {position} "
+                    f"({event.icount} < {last_icount})"
+                )
+            last_icount = event.icount
+            if event.kind == BLOCK_BEGIN:
+                if open_block is not None:
+                    raise TraceError(
+                        f"trace '{self.name}': nested BLOCK_BEGIN at event "
+                        f"{position} (block {open_block} still open)"
+                    )
+                open_block = event.block_id  # type: ignore[attr-defined]
+            elif event.kind == BLOCK_END:
+                if open_block is None:
+                    raise TraceError(
+                        f"trace '{self.name}': BLOCK_END without BLOCK_BEGIN "
+                        f"at event {position}"
+                    )
+                if event.block_id != open_block:  # type: ignore[attr-defined]
+                    raise TraceError(
+                        f"trace '{self.name}': BLOCK_END id "
+                        f"{event.block_id} does not match open block "  # type: ignore[attr-defined]
+                        f"{open_block} at event {position}"
+                    )
+                open_block = None
+        if open_block is not None:
+            raise TraceError(
+                f"trace '{self.name}': block {open_block} never closed"
+            )
+
+    def stats(self) -> TraceStats:
+        """Compute summary statistics in a single pass."""
+        loads = stores = blocks = 0
+        block_instructions = 0
+        block_ids: set[int] = set()
+        begin_icount: int | None = None
+        for event in self.events:
+            if event.kind == MEMORY_ACCESS:
+                if event.is_write:  # type: ignore[attr-defined]
+                    stores += 1
+                else:
+                    loads += 1
+            elif event.kind == BLOCK_BEGIN:
+                begin_icount = event.icount
+                block_ids.add(event.block_id)  # type: ignore[attr-defined]
+            elif event.kind == BLOCK_END:
+                blocks += 1
+                if begin_icount is not None:
+                    # Count the loop back-edge overhead as part of the block.
+                    block_instructions += event.icount - begin_icount
+                    begin_icount = None
+        return TraceStats(
+            instructions=self.instructions,
+            memory_accesses=loads + stores,
+            loads=loads,
+            stores=stores,
+            blocks=blocks,
+            block_instructions=block_instructions,
+            distinct_block_ids=len(block_ids),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, events={len(self.events)}, "
+            f"instructions={self.instructions})"
+        )

@@ -1,0 +1,98 @@
+"""Synthetic virtual address space for workload kernels.
+
+The IR interpreter places every array a kernel declares into a single flat
+address space.  Allocations are line-aligned and separated by a guard gap
+so that distinct arrays never share a cache line — the same layout a
+malloc-based C benchmark would see for large arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import DEFAULT_LINE_SIZE, DEFAULT_PAGE_SIZE
+from repro.common.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One array placed in the synthetic address space.
+
+    Attributes:
+        name: array name as declared by the kernel.
+        base: first byte address of the array.
+        length: number of elements.
+        element_size: bytes per element.
+    """
+
+    name: str
+    base: int
+    length: int
+    element_size: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint of the allocation in bytes."""
+        return self.length * self.element_size
+
+    def address_of(self, index: int) -> int:
+        """Byte address of ``array[index]``, bounds-checked."""
+        if not 0 <= index < self.length:
+            raise WorkloadError(
+                f"array '{self.name}': index {index} out of range "
+                f"[0, {self.length})"
+            )
+        return self.base + index * self.element_size
+
+
+class AddressSpace:
+    """Sequential, line-aligned allocator for kernel arrays.
+
+    Args:
+        base: address of the first allocation.  Defaults to one page, so
+            address 0 is never handed out (it reads as a null pointer).
+        guard_lines: number of unused cache lines placed between
+            consecutive allocations.
+    """
+
+    def __init__(self, base: int = DEFAULT_PAGE_SIZE, guard_lines: int = 4) -> None:
+        if base < 0:
+            raise WorkloadError(f"address space base must be non-negative: {base}")
+        self._next = _align_up(base, DEFAULT_LINE_SIZE)
+        self._guard = guard_lines * DEFAULT_LINE_SIZE
+        self._allocations: dict[str, Allocation] = {}
+
+    def allocate(self, name: str, length: int, element_size: int = 8) -> Allocation:
+        """Place a new array and return its allocation record."""
+        if name in self._allocations:
+            raise WorkloadError(f"array '{name}' allocated twice")
+        if length <= 0:
+            raise WorkloadError(f"array '{name}': length must be positive")
+        if element_size <= 0:
+            raise WorkloadError(f"array '{name}': element size must be positive")
+        allocation = Allocation(name, self._next, length, element_size)
+        footprint = _align_up(allocation.size_bytes, DEFAULT_LINE_SIZE)
+        self._next += footprint + self._guard
+        self._allocations[name] = allocation
+        return allocation
+
+    def lookup(self, name: str) -> Allocation:
+        """Return the allocation for ``name``, raising if unknown."""
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise WorkloadError(f"unknown array '{name}'") from None
+
+    @property
+    def allocations(self) -> dict[str, Allocation]:
+        """Mapping of array name to allocation (insertion ordered)."""
+        return dict(self._allocations)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes spanned by all allocations including guard gaps."""
+        return self._next
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

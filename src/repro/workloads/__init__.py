@@ -1,0 +1,34 @@
+"""The 30-benchmark workload suite.
+
+One synthetic kernel per benchmark the paper evaluates (Table IV plus the
+low-MPKI group of Figure 14), written in the kernel IR so the annotation
+pass and interpreter produce annotated traces.  Each kernel mimics the
+memory *structure* of the original benchmark — the loop nesting, stride
+patterns, data dependence, and working-set shape that determine how every
+prefetcher behaves on it — at footprints scaled to the reduced cache
+configuration.
+
+Access points:
+
+* :data:`MI_WORKLOADS` / :data:`LOW_WORKLOADS` — names in paper order,
+* :func:`get_workload` — spec lookup by name,
+* :func:`build_trace` — kernel -> annotated, validated trace.
+"""
+
+from repro.workloads.base import WorkloadSpec, build_trace, get_workload
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    LOW_WORKLOADS,
+    MI_WORKLOADS,
+    REGISTRY,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_trace",
+    "get_workload",
+    "REGISTRY",
+    "ALL_WORKLOADS",
+    "MI_WORKLOADS",
+    "LOW_WORKLOADS",
+]

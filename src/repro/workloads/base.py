@@ -1,0 +1,92 @@
+"""Workload specification and trace construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import WorkloadError
+from repro.ir.interp import ExecutionLimits, run_kernel
+from repro.ir.nodes import Kernel
+from repro.passes.annotate import annotate_tight_loops
+from repro.trace.stream import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark of the evaluation suite.
+
+    Attributes:
+        name: the paper's benchmark label (e.g. ``"stencil-default"``).
+        suite: originating suite (SPEC2006, PARSEC, SPLASH, Parboil,
+            Rodinia).
+        group: ``"mi"`` (memory-intensive, Table IV) or ``"low"``.
+        description: one-line summary of the mimicked behaviour.
+        build: factory producing the kernel; ``scale`` multiplies data
+            footprints and trip counts (1.0 = the reduced default).
+        default_accesses: memory-access budget used by the experiment
+            harness at scale 1.0.
+    """
+
+    name: str
+    suite: str
+    group: str
+    description: str
+    build: Callable[[float], Kernel]
+    default_accesses: int = 60_000
+
+    def kernel(self, scale: float = 1.0) -> Kernel:
+        """Build the kernel at the given scale."""
+        if scale <= 0:
+            raise WorkloadError(f"{self.name}: scale must be positive")
+        return self.build(scale)
+
+
+def build_trace(
+    spec: WorkloadSpec,
+    scale: float = 1.0,
+    max_accesses: int | None = None,
+    seed: int = 0,
+    backend: str = "compiled",
+) -> Trace:
+    """Build, annotate, execute, and validate one workload trace.
+
+    This is the whole software pipeline of the paper in one call:
+    compile the kernel (validate + number PCs), run the tight-loop
+    annotation pass, and execute it to produce the commit-order trace.
+
+    ``backend`` selects the execution engine: ``"compiled"`` (the
+    lowering backend, default) or ``"interp"`` (the reference tree
+    walker).  Both produce identical traces.
+    """
+    kernel = spec.kernel(scale)
+    annotate_tight_loops(kernel)
+    budget = max_accesses if max_accesses is not None else int(
+        spec.default_accesses * scale
+    )
+    limits = ExecutionLimits(max_memory_accesses=budget)
+    if backend == "compiled":
+        from repro.ir.compile import run_kernel_compiled
+
+        trace = run_kernel_compiled(kernel, seed=seed, limits=limits)
+    elif backend == "interp":
+        trace = run_kernel(kernel, seed=seed, limits=limits)
+    else:
+        raise WorkloadError(
+            f"unknown trace backend {backend!r}; use 'compiled' or 'interp'"
+        )
+    trace.validate()
+    if not any(True for _ in trace.memory_events()):
+        raise WorkloadError(f"{spec.name}: produced an empty trace")
+    return trace
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by its paper name."""
+    from repro.workloads.registry import REGISTRY
+
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,45 @@
+"""Low-MPKI workloads: the second group of 15 benchmarks in Figure 14.
+
+These mostly fit their working sets in the cache hierarchy (or touch
+memory rarely relative to compute), so absolute prefetcher gains are
+small — the paper includes them to show the CBWS schemes do not regress
+on cache-friendly code.
+"""
+
+from repro.workloads.lo import (
+    backprop,
+    bfs,
+    canneal,
+    cholesky,
+    freqmine,
+    md,
+    mvx,
+    mxm,
+    ocean,
+    omnetpp,
+    sad,
+    sjeng,
+    spmv,
+    srad,
+    water,
+)
+
+LOW_SPECS = [
+    sjeng.SPEC,
+    omnetpp.SPEC,
+    bfs.SPEC,
+    canneal.SPEC,
+    cholesky.SPEC,
+    freqmine.SPEC,
+    md.SPEC,
+    mvx.SPEC,
+    mxm.SPEC,
+    ocean.SPEC,
+    sad.SPEC,
+    spmv.SPEC,
+    water.SPEC,
+    backprop.SPEC,
+    srad.SPEC,
+]
+
+__all__ = ["LOW_SPECS"]

@@ -1,0 +1,61 @@
+"""Rodinia ``backprop``: neural-network back-propagation.
+
+Forward pass of a two-layer perceptron: the weight matrix streams
+row-by-row (the only meaningful miss source) while activations stay
+resident.  Weight rows are revisited across epochs, keeping MPKI low.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_IN = 64
+_HID = 96
+
+
+def build(scale: float = 1.0) -> Kernel:
+    epochs = max(8, int(24 * scale))
+
+    e, h, i = v("e"), v("h"), v("i")
+    body = [
+        For("e", 0, epochs, [
+            For("h", 0, _HID, [
+                For("i", 0, _IN, [
+                    Load("w1", h * c(_IN) + i),
+                    Load("acts", i),
+                    Compute(4),
+                ]),
+                Compute(6),  # sigmoid
+                Store("hidden", h),
+            ]),
+            For("h", 0, _HID, [
+                Load("hidden", h),
+                Load("w2", h),
+                Compute(4),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "backprop",
+        [
+            ArrayDecl("w1", _HID * _IN, 8,
+                      uniform_ints(_HID * _IN, -100, 100)),
+            ArrayDecl("w2", _HID, 8, uniform_ints(_HID, -100, 100)),
+            ArrayDecl("acts", _IN, 8, uniform_ints(_IN, 0, 100)),
+            ArrayDecl("hidden", _HID, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="backprop",
+    suite="Rodinia",
+    group="low",
+    description="two-layer forward pass; weights stream, activations resident",
+    build=build,
+    default_accesses=35_000,
+)

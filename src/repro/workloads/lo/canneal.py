@@ -1,0 +1,59 @@
+"""PARSEC ``canneal-simlarge``: simulated annealing for routing cost.
+
+Each step picks two netlist elements and evaluates the cost delta of
+swapping them by touching their neighbour lists.  Element picks are
+random but the netlist here is small enough to stay largely resident,
+modelling the benchmark's low-MPKI profile.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_ELEMENTS = 12_288
+_FANOUT = 4
+
+
+def build(scale: float = 1.0) -> Kernel:
+    swaps = max(1024, int(3_200 * scale))
+
+    s, t = v("s"), v("t")
+    body = [
+        For("s", 0, swaps, [
+            Load("pick_a", s % c(_ELEMENTS), dst="a"),
+            Load("pick_b", (s * 7 + 3) % c(_ELEMENTS), dst="b"),
+            Compute(4),
+            For("t", 0, _FANOUT, [
+                Load("nets", v("a") * c(_FANOUT) + t),
+                Load("nets", v("b") * c(_FANOUT) + t),
+                Compute(6),  # distance/cost arithmetic
+            ]),
+            Store("locs", v("a")),
+            Store("locs", v("b")),
+        ]),
+    ]
+    return Kernel(
+        "canneal-simlarge",
+        [
+            ArrayDecl("pick_a", _ELEMENTS, 4,
+                      uniform_ints(_ELEMENTS, 0, _ELEMENTS)),
+            ArrayDecl("pick_b", _ELEMENTS, 4,
+                      uniform_ints(_ELEMENTS, 0, _ELEMENTS)),
+            ArrayDecl("nets", _ELEMENTS * _FANOUT, 4),
+            ArrayDecl("locs", _ELEMENTS, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="canneal-simlarge",
+    suite="PARSEC",
+    group="low",
+    description="random element swaps over a mostly-resident netlist",
+    build=build,
+    default_accesses=35_000,
+)

@@ -1,0 +1,49 @@
+"""SPLASH ``cholesky-tk29``: sparse Cholesky factorization.
+
+Supernodal column updates: for each column, a unit-stride daxpy against
+a handful of previously factored columns.  The active panel fits in the
+L2, so misses are limited to first-touch of each column.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    n = max(64, int(120 * scale))  # n x n doubles, ~113 KB at default
+    total = n * n
+
+    j, k, i = v("j"), v("k"), v("i")
+    body = [
+        For("j", 1, n, [
+            Compute(6),  # pick supernode, sqrt of the diagonal
+            # Update column j with the two preceding columns.
+            For("k", 1, 3, [
+                For("i", j, c(n), [
+                    Load("a", i * c(n) + (j - k)),
+                    Load("a", i * c(n) + j),
+                    Compute(4),
+                    Store("a", i * c(n) + j),
+                ]),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "cholesky-tk29",
+        [ArrayDecl("a", total, 8, uniform_ints(total, 1, 100))],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="cholesky-tk29",
+    suite="SPLASH",
+    group="low",
+    description="column daxpy updates over a panel that fits the L2",
+    build=build,
+    default_accesses=35_000,
+)

@@ -1,0 +1,67 @@
+"""PARSEC ``freqmine-simlarge``: FP-growth frequent itemset mining.
+
+Walks FP-tree node arrays following parent links while bumping support
+counters.  The tree is allocated breadth-first so parent links point to
+nearby, usually cached nodes; counter updates dominate and MPKI is low.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    Assign,
+    Compute,
+    For,
+    Kernel,
+    Load,
+    Store,
+    While,
+)
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_NODES = 16_384
+
+
+def build(scale: float = 1.0) -> Kernel:
+    walks = max(1024, int(4_000 * scale))
+
+    w = v("w")
+
+    def parents(rng):
+        import numpy as np
+        ids = np.arange(_NODES, dtype=np.int64)
+        # Breadth-first heap layout: parent of i is i // 2.
+        return ids // 2
+
+    body = [
+        For("w", 0, walks, [
+            Assign("node", (w * 37 + 11) % c(_NODES)),
+            While(v("node").gt(0), [
+                Load("parent", v("node"), dst="up"),
+                Load("support", v("node"), dst="cnt"),
+                Store("support", v("node"), v("cnt") + 1),
+                Compute(3),
+                Assign("node", v("up")),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "freqmine-simlarge",
+        [
+            ArrayDecl("parent", _NODES, 4, parents),
+            ArrayDecl("support", _NODES, 4),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="freqmine-simlarge",
+    suite="PARSEC",
+    group="low",
+    description="FP-tree parent walks with support-counter updates",
+    build=build,
+    default_accesses=35_000,
+)

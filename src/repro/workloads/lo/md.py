@@ -1,0 +1,54 @@
+"""Linpack-suite ``md-linpack``: molecular dynamics pair forces.
+
+For each particle, the inner loop gathers the positions of its neighbour
+list and accumulates Lennard-Jones forces.  Neighbour lists are built
+from spatial cells, so gathered indices cluster near the particle —
+cache-friendly by construction.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import strided_then_shuffled
+
+_NEIGHBORS = 16
+
+
+def build(scale: float = 1.0) -> Kernel:
+    particles = max(1024, int(2_400 * scale))
+
+    p, t = v("p"), v("t")
+    body = [
+        For("p", 0, particles, [
+            Load("pos", p),
+            Compute(2),
+            For("t", 0, _NEIGHBORS, [
+                Load("nbr", p * c(_NEIGHBORS) + t, dst="other"),
+                Load("pos", v("other") % c(particles)),
+                Compute(12),  # r^2, LJ terms, force accumulate
+            ]),
+            Store("force", p),
+        ]),
+    ]
+    return Kernel(
+        "md-linpack",
+        [
+            ArrayDecl("pos", particles, 8),
+            ArrayDecl("force", particles, 8),
+            ArrayDecl("nbr", particles * _NEIGHBORS, 4,
+                      strided_then_shuffled(particles * _NEIGHBORS, 0.85)),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="md-linpack",
+    suite="Linpack",
+    group="low",
+    description="neighbour-list force gathers with spatial locality",
+    build=build,
+    default_accesses=35_000,
+)

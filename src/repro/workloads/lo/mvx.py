@@ -1,0 +1,49 @@
+"""Linpack-suite ``mvx-linpack``: matrix-vector multiply.
+
+``y[i] += A[i][j] * x[j]``: the matrix streams once (cold misses only,
+amortized over the row length) while the vector stays resident.  A thin,
+perfectly regular streaming load — prefetchers all do fine, gains small.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    n = max(128, int(256 * scale))
+    rows = max(32, int(64 * scale))
+
+    i, j = v("i"), v("j")
+    body = [
+        For("i", 0, rows, [
+            For("j", 0, c(n), [
+                Load("a", i * c(n) + j),
+                Load("x", j),
+                Compute(4),
+            ]),
+            Store("y", i),
+        ]),
+    ]
+    return Kernel(
+        "mvx-linpack",
+        [
+            ArrayDecl("a", rows * n, 8, uniform_ints(rows * n, -50, 50)),
+            ArrayDecl("x", n, 8, uniform_ints(n, -50, 50)),
+            ArrayDecl("y", rows, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="mvx-linpack",
+    suite="Linpack",
+    group="low",
+    description="matrix-vector multiply; matrix streams, vector resident",
+    build=build,
+    default_accesses=35_000,
+)

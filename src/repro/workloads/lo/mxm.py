@@ -1,0 +1,51 @@
+"""Linpack-suite ``mxm-linpack``: small dense matrix multiply.
+
+All three operands fit comfortably in the L2, so after first touch the
+kernel is compute-bound with near-zero MPKI — the canonical workload
+where prefetching neither helps nor hurts.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Assign, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    n = max(32, int(48 * scale))  # 48x48 doubles x3 = 54 KB
+
+    i, j, k = v("i"), v("j"), v("k")
+    body = [
+        For("i", 0, c(n), [
+            For("j", 0, c(n), [
+                Assign("acc", 0),
+                For("k", 0, c(n), [
+                    Load("a", i * c(n) + k),
+                    Load("b", k * c(n) + j),
+                    Compute(4),
+                ]),
+                Store("cc", i * c(n) + j),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "mxm-linpack",
+        [
+            ArrayDecl("a", n * n, 8, uniform_ints(n * n, -10, 10)),
+            ArrayDecl("b", n * n, 8, uniform_ints(n * n, -10, 10)),
+            ArrayDecl("cc", n * n, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="mxm-linpack",
+    suite="Linpack",
+    group="low",
+    description="cache-resident matmul; near-zero steady-state MPKI",
+    build=build,
+    default_accesses=35_000,
+)

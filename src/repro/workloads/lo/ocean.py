@@ -1,0 +1,47 @@
+"""SPLASH ``ocean-cp-simlarge``: ocean current simulation.
+
+Red-black Gauss-Seidel sweeps with a 5-point stencil over a grid sized
+near the L2: rows are revisited quickly enough that most neighbour
+accesses hit, with a steady trickle of misses along the sweep frontier.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    cols = 128
+    rows = max(32, int(96 * scale))  # 96x128 doubles = 96 KB
+    total = rows * cols
+
+    r, cc = v("r"), v("cc")
+    cell = r * c(cols) + cc
+    inner = [
+        Load("grid", cell - c(cols)),
+        Load("grid", cell + c(cols)),
+        Load("grid", cell - 1),
+        Load("grid", cell + 1),
+        Load("grid", cell),
+        Compute(10),
+        Store("grid", cell),
+    ]
+    sweep = For("r", 1, rows - 1, [For("cc", 1, cols - 1, inner)])
+    return Kernel(
+        "ocean-cp-simlarge",
+        [ArrayDecl("grid", total, 8, uniform_ints(total, -100, 100))],
+        [sweep, sweep],  # two relaxation sweeps (red + black)
+    )
+
+
+SPEC = WorkloadSpec(
+    name="ocean-cp-simlarge",
+    suite="SPLASH",
+    group="low",
+    description="5-point relaxation sweeps on a near-L2-sized grid",
+    build=build,
+    default_accesses=35_000,
+)

@@ -1,0 +1,60 @@
+"""SPEC ``471.omnetpp-omnetpp``: discrete event simulation.
+
+Event scheduling walks a binary-heap future-event set and touches each
+event's module state.  The heap stays mostly cached; module state is a
+moderate array indexed semi-randomly, producing a low-but-nonzero miss
+rate that no delta prefetcher predicts well.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Assign, Compute, For, Kernel, Load, Store, While
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_HEAP = 4096
+_MODULES = 16_384
+
+
+def build(scale: float = 1.0) -> Kernel:
+    events = max(2048, int(7_000 * scale))
+
+    e = v("e")
+    body = [
+        For("e", 0, events, [
+            # Sift-down along one heap path (log-depth pointer walk).
+            Assign("node", 1),
+            While(v("node").lt(_HEAP // 2), [
+                Load("heap", v("node"), dst="val"),
+                Load("heap", v("node") * 2),
+                Compute(3),
+                Assign("node", v("node") * 2 + (v("val") & 1)),
+            ]),
+            # Deliver the event to its module.
+            Load("event_module", e % c(_HEAP), dst="module"),
+            Load("module_state", v("module"), dst="state"),
+            Compute(8),
+            Store("module_state", v("module"), v("state") + 1),
+        ]),
+    ]
+    return Kernel(
+        "471.omnetpp-omnetpp",
+        [
+            ArrayDecl("heap", _HEAP, 8, uniform_ints(_HEAP, 0, 1 << 20)),
+            ArrayDecl("event_module", _HEAP, 4,
+                      uniform_ints(_HEAP, 0, _MODULES)),
+            ArrayDecl("module_state", _MODULES, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="471.omnetpp-omnetpp",
+    suite="SPEC2006",
+    group="low",
+    description="event heap walks plus semi-random module-state touches",
+    build=build,
+    default_accesses=35_000,
+)

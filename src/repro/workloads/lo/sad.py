@@ -1,0 +1,57 @@
+"""Parboil ``sad-base-large``: sum-of-absolute-differences motion search.
+
+Compares a 16x16 macroblock against candidate positions in a reference
+window.  The window is revisited for every candidate, so accesses after
+the first candidate hit; misses occur only when the search window slides.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_BLOCK = 16
+_WINDOW = 8  # candidate offsets per macroblock
+_FRAME_COLS = 256
+
+
+def build(scale: float = 1.0) -> Kernel:
+    macroblocks = max(64, int(140 * scale))
+    frame = _FRAME_COLS * (macroblocks // (_FRAME_COLS // _BLOCK) + 2) * _BLOCK
+
+    mb, cand, row = v("mb"), v("cand"), v("row")
+    base = mb * c(_BLOCK)
+    inner = [
+        Load("cur", base + row * c(_FRAME_COLS)),
+        Load("ref", base + cand + row * c(_FRAME_COLS)),
+        Compute(18),  # 16 absolute differences + accumulate
+    ]
+    body = [
+        For("mb", 0, macroblocks, [
+            For("cand", 0, _WINDOW, [
+                For("row", 0, _BLOCK, inner),
+                Store("best", mb % c(1024)),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "sad-base-large",
+        [
+            ArrayDecl("cur", frame, 4, uniform_ints(frame, 0, 256)),
+            ArrayDecl("ref", frame, 4, uniform_ints(frame, 0, 256)),
+            ArrayDecl("best", 1024, 4),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="sad-base-large",
+    suite="Parboil",
+    group="low",
+    description="macroblock SAD search with a reused reference window",
+    build=build,
+    default_accesses=35_000,
+)

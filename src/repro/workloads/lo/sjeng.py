@@ -1,0 +1,60 @@
+"""SPEC ``458.sjeng-ref``: chess engine.
+
+Dominated by move generation and evaluation over small board arrays,
+with occasional transposition-table probes into a larger hash table.
+The board state stays cache-resident; only the hash probes miss, keeping
+MPKI low.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, If, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_TT_ENTRIES = 32_768  # 256 KB transposition table
+
+
+def build(scale: float = 1.0) -> Kernel:
+    positions = max(2048, int(6_000 * scale))
+
+    p, sq = v("p"), v("sq")
+    evaluate = For("sq", 0, 64, [
+        Load("board", sq, dst="piece"),
+        Load("piece_value", v("piece") & 15),
+        Compute(6),
+    ])
+    body = [
+        For("p", 0, positions, [
+            Load("hash_keys", p % c(4096), dst="key"),
+            # One transposition-table probe per position: the rare miss.
+            Load("tt", v("key") & c(_TT_ENTRIES - 1), dst="entry"),
+            Compute(4),
+            If(v("entry").eq(0), [
+                Store("tt", v("key") & c(_TT_ENTRIES - 1), v("key")),
+            ]),
+            evaluate,
+        ]),
+    ]
+    return Kernel(
+        "458.sjeng-ref",
+        [
+            ArrayDecl("board", 64, 4, uniform_ints(64, 0, 16)),
+            ArrayDecl("piece_value", 16, 4, uniform_ints(16, 0, 900)),
+            ArrayDecl("hash_keys", 4096, 8,
+                      uniform_ints(4096, 0, 1 << 30)),
+            ArrayDecl("tt", _TT_ENTRIES, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="458.sjeng-ref",
+    suite="SPEC2006",
+    group="low",
+    description="board evaluation with sparse transposition-table probes",
+    build=build,
+    default_accesses=35_000,
+)

@@ -1,0 +1,50 @@
+"""Rodinia ``srad-v1``: speckle-reducing anisotropic diffusion.
+
+A 4-neighbour image stencil over an image sized close to the L2, swept
+repeatedly: the first sweep misses along the frontier, subsequent
+accesses are mostly hits, giving the low-MPKI profile of the original.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    cols = 128
+    rows = max(48, int(110 * scale))  # 110x128 floats = 55 KB
+    total = rows * cols
+
+    r, cc = v("r"), v("cc")
+    cell = r * c(cols) + cc
+    inner = [
+        Load("img", cell - c(cols)),
+        Load("img", cell + c(cols)),
+        Load("img", cell - 1),
+        Load("img", cell + 1),
+        Load("img", cell),
+        Compute(16),  # diffusion coefficient + update
+        Store("coef", cell),
+    ]
+    sweep = For("r", 1, rows - 1, [For("cc", 1, cols - 1, inner)])
+    return Kernel(
+        "srad-v1",
+        [
+            ArrayDecl("img", total, 4, uniform_ints(total, 0, 256)),
+            ArrayDecl("coef", total, 4),
+        ],
+        [sweep, sweep],
+    )
+
+
+SPEC = WorkloadSpec(
+    name="srad-v1",
+    suite="Rodinia",
+    group="low",
+    description="4-neighbour diffusion stencil on a near-L2-sized image",
+    build=build,
+    default_accesses=35_000,
+)

@@ -1,0 +1,53 @@
+"""SPLASH ``water-spatial-native``: water molecule dynamics.
+
+Intra-molecular force computation: each molecule's atoms sit
+contiguously, and the cell-list neighbour structure keeps interacting
+molecules adjacent in memory.  Per-molecule state is revisited every
+timestep, so the working set cycles through the cache with few misses.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_ATOMS = 3  # O, H, H
+_FIELDS = 4  # position, velocity, force, acc per atom
+
+
+def build(scale: float = 1.0) -> Kernel:
+    molecules = max(512, int(1_400 * scale))
+    words = molecules * _ATOMS * _FIELDS
+
+    m, a = v("m"), v("a")
+    stride = _ATOMS * _FIELDS
+    body = [
+        For("m", 0, molecules, [
+            For("a", 0, _ATOMS, [
+                Load("mol", m * c(stride) + a * c(_FIELDS)),
+                Load("mol", m * c(stride) + a * c(_FIELDS) + 1),
+                Compute(14),  # O-H spring + angle forces
+                Store("mol", m * c(stride) + a * c(_FIELDS) + 2),
+            ]),
+            # Interaction with the next molecule in the same cell.
+            Load("mol", ((m + 1) % c(molecules)) * c(stride)),
+            Compute(8),
+        ]),
+    ]
+    return Kernel(
+        "water-spatial-native",
+        [ArrayDecl("mol", words, 8, uniform_ints(words, -100, 100))],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="water-spatial-native",
+    suite="SPLASH",
+    group="low",
+    description="contiguous per-molecule updates with neighbour interactions",
+    build=build,
+    default_accesses=35_000,
+)

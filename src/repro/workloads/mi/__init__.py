@@ -1,0 +1,39 @@
+"""Memory-intensive workloads (Table IV): the 15 highest-MPKI benchmarks."""
+
+from repro.workloads.mi import (
+    bzip2,
+    fft,
+    histo,
+    lbm,
+    libquantum,
+    lu_ncb,
+    mcf,
+    milc,
+    mri_q,
+    nw,
+    radix,
+    sgemm,
+    soplex,
+    stencil,
+    streamcluster,
+)
+
+MI_SPECS = [
+    bzip2.SPEC,
+    histo.SPEC,
+    mcf.SPEC,
+    lbm.SPEC,
+    mri_q.SPEC,
+    stencil.SPEC,
+    fft.SPEC,
+    nw.SPEC,
+    libquantum.SPEC,
+    soplex.SPEC,
+    lu_ncb.SPEC,
+    radix.SPEC,
+    milc.SPEC,
+    streamcluster.SPEC,
+    sgemm.SPEC,
+]
+
+__all__ = ["MI_SPECS"]

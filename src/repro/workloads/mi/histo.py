@@ -1,0 +1,55 @@
+"""Parboil ``histo-large``: saturating image histogram.
+
+The main loop (the paper's Figure 16) reads one pixel per iteration and
+increments a histogram bin selected by the *pixel value*: the bin access
+"depends on input data.  Therefore, the resulting access pattern cannot
+be detected using CBWS differential representation."  Pixel values are
+Zipf-skewed over a histogram larger than the L2, so the bin stream is an
+unpredictable scatter with a hot head.  Every prefetcher covers the
+unit-stride image stream; none covers the bins — MPKI stays high across
+the board, matching Figure 12.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, If, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import zipf_ints
+
+_UINT8_MAX = 255
+
+
+def build(scale: float = 1.0) -> Kernel:
+    bins = 65_536  # 256 KB of 4-byte bins: twice the reduced L2
+    pixels = max(16_384, int(70_000 * scale))
+
+    i = v("i")
+    body = [
+        For("i", 0, pixels, [
+            Load("img", i, dst="value"),
+            Load("histo", v("value"), dst="count"),
+            Compute(2),
+            If(v("count").lt(_UINT8_MAX), [
+                Store("histo", v("value"), v("count") + 1),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "histo-large",
+        [
+            ArrayDecl("img", pixels, 4, zipf_ints(pixels, bins)),
+            ArrayDecl("histo", bins, 4),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="histo-large",
+    suite="Parboil",
+    group="mi",
+    description="Figure 16 loop: data-dependent histogram increments",
+    build=build,
+    default_accesses=60_000,
+)

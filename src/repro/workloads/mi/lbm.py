@@ -1,0 +1,104 @@
+"""Parboil ``lbm-long``: lattice-Boltzmann fluid simulation.
+
+Each cell update reads distribution components and streams them to
+neighbour cells — but *which* components are read and where they stream
+depends on the cell's flags (fluid, obstacle, or accelerated), and the
+obstacle geometry clusters in runs.  The paper groups lbm with the
+benchmarks where "the data accessed by the tight, innermost loops is
+highly data-dependent" and the CBWS-based schemes are outperformed: the
+divergent bodies keep changing both the CBWS length and its element
+alignment, while the *spatial* density of each cell's neighbourhood
+keeps SMS effective.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    Compute,
+    For,
+    If,
+    Kernel,
+    Load,
+    Store,
+)
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+
+_Q = 8   # distribution components per cell (reduced D3Q19)
+_ROW = 128  # cells per grid row
+
+
+def build(scale: float = 1.0) -> Kernel:
+    cells = max(4096, int(12_000 * scale))
+    total = (cells + 2 * _ROW) * _Q
+
+    i = v("i")
+    base = (i + c(_ROW)) * c(_Q)
+    # Fluid path: full collide-and-stream over 4 components.
+    fluid = [
+        Load("src", base + 2),
+        Load("src", base + 3),
+        Compute(16),
+        Store("dst", base + 0),
+        Store("dst", base + c(_ROW * _Q) + 1),
+        Store("dst", base - c(_ROW * _Q) + 2),
+        Store("dst", base + c(_Q) + 3),
+    ]
+    # Obstacle path: bounce-back touches different components and no
+    # neighbours — a shorter working set with different alignment.
+    obstacle = [
+        Load("src", base + 5),
+        Compute(4),
+        Store("dst", base + 1),
+        Store("dst", base + 0),
+    ]
+    # Accelerated path (inflow cells): yet another shape.
+    accelerated = [
+        Load("src", base + 6),
+        Load("vel", i % c(_ROW)),
+        Compute(8),
+        Store("dst", base + c(_Q) + 4),
+    ]
+    body = [
+        For("i", 0, cells, [
+            Load("flags", i, dst="flag"),
+            Load("src", base + 0),
+            Load("src", base + 1),
+            Compute(8),
+            If(v("flag").eq(0), fluid, [
+                If(v("flag").eq(1), obstacle, accelerated),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "lbm-long",
+        [
+            ArrayDecl("src", total, 8),
+            ArrayDecl("dst", total, 8),
+            ArrayDecl("vel", _ROW, 8),
+            # Mixed cell types clustered in short runs like real geometry.
+            ArrayDecl("flags", cells, 4, _clustered_flags(cells)),
+        ],
+        body,
+    )
+
+
+def _clustered_flags(cells: int):
+    def init(rng):
+        import numpy as np
+        run = 6
+        kinds = rng.choice([0, 0, 0, 1, 2], size=cells // run + 1)
+        return np.repeat(kinds, run)[:cells].astype(np.int64)
+
+    return init
+
+
+SPEC = WorkloadSpec(
+    name="lbm-long",
+    suite="Parboil",
+    group="mi",
+    description="lattice-Boltzmann streaming with flag-divergent cell paths",
+    build=build,
+    default_accesses=60_000,
+)

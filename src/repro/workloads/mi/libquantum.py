@@ -1,0 +1,54 @@
+"""SPEC ``462.libquantum-ref``: quantum gate simulation.
+
+libquantum applies a gate by sweeping the whole quantum register — a
+single huge array — testing each basis state's control bit and
+conditionally toggling the target bit.  The access pattern is a pure
+unit-stride stream with a data-dependent store, far larger than any
+cache.  Every streaming prefetcher covers it; the interesting paper
+observation is that CBWS does *not* beat SMS here (Figure 12 marks
+libquantum as one of the two benchmarks where CBWS+SMS is not the best),
+since a one-line-per-iteration stream leaves nothing for working-set
+prediction to add.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, If, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    states = max(16_384, int(120_000 * scale))
+    gates = 4
+
+    g, i = v("g"), v("i")
+    inner = [
+        Load("reg", i, dst="amp"),
+        Compute(4),
+        If((v("amp") >> (g & 7)) & 1, [
+            Store("reg", i, v("amp") ^ 2),
+            Compute(2),
+        ]),
+    ]
+    body = [
+        For("g", 0, gates, [
+            For("i", 0, states, inner),
+        ]),
+    ]
+    return Kernel(
+        "462.libquantum-ref",
+        [ArrayDecl("reg", states, 8, uniform_ints(states, 0, 1 << 16))],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="462.libquantum-ref",
+    suite="SPEC2006",
+    group="mi",
+    description="unit-stride register sweep with conditional toggles",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,56 @@
+"""SPLASH ``lu-ncb-simlarge``: LU factorization, non-contiguous blocks.
+
+The "ncb" variant stores the matrix row-major without copying blocks, so
+the daxpy inner loop updates row ``i`` against pivot row ``k`` (two
+unit-stride streams), while the pivot-column walk above it strides a
+full row per iteration.  Column walks over a matrix bigger than the L2
+are CBWS territory; the paper lists lu-ncb among the benchmarks where
+both CBWS prefetchers beat everything else.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Assign, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    n = max(96, int(224 * scale))  # n x n doubles: 392 KB at default
+    total = n * n
+
+    k, i, j = v("k"), v("i"), v("j")
+    # Column scale: a[i][k] /= a[k][k] — strides one row per iteration.
+    column = For("i", k + 1, c(n), [
+        Load("a", i * c(n) + k),
+        Compute(4),
+        Store("a", i * c(n) + k),
+    ])
+    # Trailing update: a[i][j] -= a[i][k] * a[k][j].
+    update = For("i", k + 1, c(n), [
+        Load("a", i * c(n) + k, dst="lik"),
+        Compute(1),
+        For("j", k + 1, c(n), [
+            Load("a", k * c(n) + j),
+            Load("a", i * c(n) + j),
+            Compute(4),
+            Store("a", i * c(n) + j),
+        ]),
+    ])
+    body = [For("k", 0, c(n - 1), [column, update])]
+    return Kernel(
+        "lu-ncb-simlarge",
+        [ArrayDecl("a", total, 8, uniform_ints(total, 1, 1000))],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="lu-ncb-simlarge",
+    suite="PARSEC-SPLASH",
+    group="mi",
+    description="LU without contiguous blocks: column walks + daxpy updates",
+    build=build,
+    default_accesses=60_000,
+)

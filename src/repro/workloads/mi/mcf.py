@@ -1,0 +1,74 @@
+"""SPEC ``429.mcf-ref``: minimum-cost flow network simplex.
+
+mcf alternates between arc-array scans (regular, strided) and tree
+traversals chasing node pointers (irregular).  The pointer chase walks a
+random permutation cycle — each hop is an unpredictable jump across a
+multi-megabyte structure, which no stride/delta scheme can cover.  The
+paper shows mcf's MPKI stays high for every prefetcher, with CBWS+SMS
+delivering the best (still modest) result on the regular scan portions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayDecl,
+    Assign,
+    Compute,
+    For,
+    Kernel,
+    Load,
+    While,
+)
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import permutation_chain, uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    nodes = max(8192, int(40_000 * scale))
+    arcs = nodes * 2
+    rounds = 8
+    scan_window = 2_000  # arcs priced per round
+    chase_hops = 1_500   # tree hops per round
+
+    r, i = v("r"), v("i")
+    # Each simplex round prices a window of arcs (regular scan) and then
+    # walks the basis tree from the entering arc (irregular chase).
+    arc_scan = For("i", r * c(scan_window), (r + 1) * c(scan_window), [
+        Load("arc_cost", i % c(arcs), dst="cost"),
+        Load("arc_head", i % c(arcs)),
+        Compute(6),
+    ])
+    # Walks repeat after four rounds, as mcf revisits the same basis
+    # tree paths across pricing iterations.
+    chase = [
+        Assign("node", ((r % 4) * 977) % c(nodes)),
+        Assign("hops", 0),
+        While(v("hops").lt(chase_hops), [
+            Load("next_node", v("node"), dst="node"),
+            Load("potential", v("node")),
+            Compute(5),
+            Assign("hops", v("hops") + 1),
+        ]),
+    ]
+    body = [For("r", 0, rounds, [arc_scan, *chase])]
+    return Kernel(
+        "429.mcf-ref",
+        [
+            ArrayDecl("arc_cost", arcs, 4, uniform_ints(arcs, 0, 1000)),
+            ArrayDecl("arc_head", arcs, 4),
+            ArrayDecl("next_node", nodes, 8, permutation_chain(nodes)),
+            ArrayDecl("potential", nodes, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="429.mcf-ref",
+    suite="SPEC2006",
+    group="mi",
+    description="arc scans plus random pointer chasing over the basis tree",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,60 @@
+"""SPEC ``433.milc-su3imp``: SU(3) lattice QCD.
+
+milc sweeps a 4-D lattice; per site it gathers the SU(3) link matrices
+of the site and of a fixed-offset neighbour, multiplies them, and stores
+the result.  Site-major layout gives each gather a constant multi-line
+stride per direction — an 8-to-10-line working set with constant
+differentials over a lattice far larger than the L2.  Figure 14 lists
+milc among the benchmarks where the integrated CBWS+SMS prefetcher
+delivers the best performance.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+#: 8-byte words per SU(3) complex matrix (3x3x2 = 18).
+_MAT = 18
+#: Lattice-site stride (in sites) to the gathered neighbour.
+_NEIGHBOR = 64
+
+
+def build(scale: float = 1.0) -> Kernel:
+    sites = max(2048, int(8_000 * scale))
+    total = (sites + _NEIGHBOR) * _MAT
+
+    s = v("s")
+    here = s * c(_MAT)
+    there = (s + c(_NEIGHBOR)) * c(_MAT)
+    inner = [
+        # Two rows of each matrix (one line apart) — 4 spread lines.
+        Load("links", here),
+        Load("links", here + 9),
+        Load("links", there),
+        Load("links", there + 9),
+        Compute(36),  # su3_mat_mul: 9 complex dot products
+        Store("res", here),
+        Store("res", here + 9),
+    ]
+    body = [For("s", 0, sites, inner)]
+    return Kernel(
+        "433.milc-su3imp",
+        [
+            ArrayDecl("links", total, 8, uniform_ints(total, -128, 128)),
+            ArrayDecl("res", total, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="433.milc-su3imp",
+    suite="SPEC2006",
+    group="mi",
+    description="SU(3) matrix gathers at constant multi-line site strides",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,58 @@
+"""Parboil ``mri-q-large``: MRI Q-matrix computation.
+
+The hot loop accumulates, for one voxel, contributions from every
+k-space sample: four parallel unit-stride streams (kx, ky, kz, phi) with
+heavy trigonometric arithmetic between accesses.  All stream prefetchers
+handle it; the CBWS gain is modest since a whole iteration touches the
+same handful of advancing lines (Figure 14 shows mri-q near parity).
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    samples = max(8192, int(24_000 * scale))
+    voxels = 8
+
+    x, k = v("x"), v("k")
+    inner = [
+        Load("kx", k),
+        Load("ky", k),
+        Load("kz", k),
+        Load("phi", k),
+        Compute(24),  # sin/cos + multiply-accumulate chain
+    ]
+    body = [
+        For("x", 0, voxels, [
+            For("k", 0, samples, inner),
+            Store("q_re", x),
+            Store("q_im", x),
+        ]),
+    ]
+    return Kernel(
+        "mri-q-large",
+        [
+            ArrayDecl("kx", samples, 8, uniform_ints(samples, -512, 512)),
+            ArrayDecl("ky", samples, 8, uniform_ints(samples, -512, 512)),
+            ArrayDecl("kz", samples, 8, uniform_ints(samples, -512, 512)),
+            ArrayDecl("phi", samples, 8, uniform_ints(samples, -512, 512)),
+            ArrayDecl("q_re", voxels, 8),
+            ArrayDecl("q_im", voxels, 8),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="mri-q-large",
+    suite="Parboil",
+    group="mi",
+    description="four parallel k-space streams with heavy arithmetic",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,60 @@
+"""Rodinia ``nw``: Needleman-Wunsch sequence alignment.
+
+Dynamic-programming wavefront: cells along an anti-diagonal are
+independent, so the tight inner loop walks a diagonal — consecutive
+cells sit one row down and one column left, a constant stride of
+``cols - 1`` elements.  Each iteration reads the north-west, north and
+west neighbours plus the reference matrix and writes the cell: a
+5-element CBWS with a constant differential, far beyond an SMS region.
+The paper reports both CBWS prefetchers outperform all others on nw.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+
+def build(scale: float = 1.0) -> Kernel:
+    """Square DP matrix several times the reduced L2."""
+    cols = max(64, int(256 * scale))
+    total = cols * cols
+
+    d, t = v("d"), v("t")
+    # Cell (r, c) with r = t, c = d - t; index = r*cols + c.
+    cell = t * c(cols) + (d - t)
+    inner = [
+        Load("score", cell - c(cols) - 1),  # north-west
+        Load("score", cell - c(cols)),      # north
+        Load("score", cell - 1),            # west
+        Load("ref", cell),                   # substitution score
+        Compute(8),  # three-way max plus add
+        Store("score", cell),
+    ]
+    # Lower-triangle wavefront sweep: diagonals d = 1 .. cols-1, cells
+    # t = 1 .. d-1 stay inside the matrix and off the first row/column.
+    body = [
+        For("d", 2, cols, [
+            For("t", 1, d, inner),
+        ]),
+    ]
+    return Kernel(
+        "nw",
+        [
+            ArrayDecl("score", total, 4),
+            ArrayDecl("ref", total, 4, uniform_ints(total, -4, 5)),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="nw",
+    suite="Rodinia",
+    group="mi",
+    description="DP wavefront; diagonal walk strides cols-1 per iteration",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,67 @@
+"""Parboil ``stencil-default``: 7-point Jacobi stencil on a 3-D grid.
+
+This is the paper's running example (Figure 2): three nested loops with
+``IDX(x, y, z) = x + nx*(y + ny*z)`` and the *innermost* loop over the
+``z``-like index, so every iteration strides an entire xy-plane —
+``nx*ny`` elements — per neighbour.  That produces the Figure 3 access
+matrix: a CBWS of far-apart lines whose differentials are one constant
+vector (Figure 4).
+
+Expected prefetcher behaviour (Sections II and VII): CBWS streams whole
+working sets and wins; SMS is crippled because the plane stride hops
+spatial regions ("addresses in the 3D Stencil code may span regions that
+are input dependent"); per-PC stride/GHB track each neighbour stream but
+with shallow, conservative depth.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+
+
+def build(scale: float = 1.0) -> Kernel:
+    """Grid sized so one xy-plane is 16 cache lines and the volume is
+    several times the reduced L2."""
+    nx, ny = 16, 16
+    nz = max(8, int(220 * scale))
+    total = nx * ny * nz
+
+    def idx(i, j, k):
+        return i + c(nx) * (j + c(ny) * k)
+
+    i, j, k = v("i"), v("j"), v("k")
+    inner = [
+        Load("A0", idx(i, j, k + 1)),
+        Load("A0", idx(i, j, k - 1)),
+        Load("A0", idx(i, j + 1, k)),
+        Load("A0", idx(i, j - 1, k)),
+        Load("A0", idx(i + 1, j, k)),
+        Load("A0", idx(i - 1, j, k)),
+        Load("A0", idx(i, j, k)),
+        Compute(25),  # 2 fused multiply-adds per neighbour, roughly
+        Store("A", idx(i, j, k)),
+    ]
+    body = [
+        For("i", 1, nx - 1, [
+            For("j", 1, ny - 1, [
+                For("k", 1, nz - 1, inner),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "stencil-default",
+        [ArrayDecl("A0", total, 4), ArrayDecl("A", total, 4)],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="stencil-default",
+    suite="Parboil",
+    group="mi",
+    description="3-D Jacobi stencil, plane-strided innermost loop (Fig. 2)",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,70 @@
+"""PARSEC ``streamcluster-simlarge``: online k-median clustering.
+
+The hot loop computes the distance from each point to its *currently
+assigned* center: the point side is a dense unit-stride burst, but the
+center side jumps to a data-dependent row per point.  Consecutive
+iterations therefore produce many distinct CBWS differentials — the
+second benchmark (with fft) where the paper finds "the history table is
+too small to represent a meaningful CBWS differential history", so
+standalone CBWS trails SMS and the hybrid recovers by falling back.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store
+from repro.ir.builder import c, v
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.inits import uniform_ints
+
+_DIM = 8  # coordinates per point: short bursts, frequent point switches
+_CENTERS = 1024
+
+
+def build(scale: float = 1.0) -> Kernel:
+    points = max(2048, int(8_000 * scale))
+
+    p = v("p")
+    # The distance computation is unrolled over the 8 coordinates, so the
+    # tight annotated loop is the loop over *points*: every iteration's
+    # working set spans the point's coordinate lines plus the lines of a
+    # data-dependent center row.  Consecutive iterations therefore differ
+    # by a random center delta — a fresh differential vector nearly every
+    # block, which is what defeats the 16-entry history table.
+    coordinate_loads = [
+        Load("coords", p * c(_DIM) + t) for t in range(_DIM)
+    ]
+    center_loads = [
+        Load("centers", v("assigned") * c(_DIM) + t) for t in range(_DIM)
+    ]
+    body = [
+        For("p", 0, points, [
+            Load("assign", p, dst="assigned"),
+            *coordinate_loads,
+            *center_loads,
+            Compute(40),  # 8 squared differences + accumulate
+            Store("cost", p),
+        ]),
+    ]
+    return Kernel(
+        "streamcluster-simlarge",
+        [
+            ArrayDecl("coords", points * _DIM, 4,
+                      uniform_ints(points * _DIM, -100, 100)),
+            ArrayDecl("centers", _CENTERS * _DIM, 8,
+                      uniform_ints(_CENTERS * _DIM, -100, 100)),
+            ArrayDecl("assign", points, 4,
+                      uniform_ints(points, 0, _CENTERS)),
+            ArrayDecl("cost", points, 4),
+        ],
+        body,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="streamcluster-simlarge",
+    suite="PARSEC",
+    group="mi",
+    description="point-to-assigned-center distances; center row is data-dependent",
+    build=build,
+    default_accesses=60_000,
+)

@@ -1,0 +1,21 @@
+"""Workload registry: name -> spec, in the paper's presentation order."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.mi import MI_SPECS
+from repro.workloads.lo import LOW_SPECS
+
+#: Memory-intensive group names, in Figure 12/14 order.
+MI_WORKLOADS: list[str] = [spec.name for spec in MI_SPECS]
+
+#: Low-MPKI group names, in Figure 14 (bottom) order.
+LOW_WORKLOADS: list[str] = [spec.name for spec in LOW_SPECS]
+
+#: All 30 benchmarks.
+ALL_WORKLOADS: list[str] = MI_WORKLOADS + LOW_WORKLOADS
+
+#: Lookup table used by :func:`repro.workloads.base.get_workload`.
+REGISTRY: dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (*MI_SPECS, *LOW_SPECS)
+}

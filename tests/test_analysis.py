@@ -1,0 +1,115 @@
+"""Tests for the offline trace analyses (Figure 5 and the 16-line claim)."""
+
+import pytest
+
+from repro.analysis.differentials import (
+    differential_distribution,
+    extract_cbws_sequences,
+)
+from repro.analysis.workingsets import working_set_distribution
+from repro.trace.events import BlockBegin, BlockEnd, MemoryAccess
+from repro.trace.stream import Trace
+
+
+def block_trace(blocks, block_id=0):
+    """Build a trace from a list of per-block line lists."""
+    events = []
+    icount = 0
+    for lines in blocks:
+        events.append(BlockBegin(icount, block_id))
+        for line in lines:
+            icount += 1
+            events.append(MemoryAccess(icount, 0, line * 64, False))
+        icount += 1
+        events.append(BlockEnd(icount, block_id))
+    return Trace("crafted", events, icount)
+
+
+class TestExtraction:
+    def test_cbws_per_block_instance(self):
+        trace = block_trace([[1, 2, 2, 3], [4, 5]])
+        sequences = extract_cbws_sequences(trace)
+        assert sequences[0] == [(1, 2, 3), (4, 5)]
+
+    def test_accesses_outside_blocks_ignored(self):
+        events = [
+            MemoryAccess(0, 0, 64, False),
+            BlockBegin(1, 0),
+            MemoryAccess(2, 0, 128, False),
+            BlockEnd(3, 0),
+        ]
+        sequences = extract_cbws_sequences(Trace("t", events, 5))
+        assert sequences[0] == [(2,)]
+
+    def test_capacity_cap_applied(self):
+        trace = block_trace([list(range(30))])
+        sequences = extract_cbws_sequences(trace, max_members=16)
+        assert len(sequences[0][0]) == 16
+
+    def test_multiple_block_ids_separated(self):
+        events = []
+        icount = 0
+        for block_id, line in ((0, 1), (1, 9), (0, 2)):
+            events.append(BlockBegin(icount, block_id))
+            icount += 1
+            events.append(MemoryAccess(icount, 0, line * 64, False))
+            icount += 1
+            events.append(BlockEnd(icount, block_id))
+        sequences = extract_cbws_sequences(Trace("t", events, icount))
+        assert sequences[0] == [(1,), (2,)]
+        assert sequences[1] == [(9,)]
+
+
+class TestDifferentialDistribution:
+    def test_single_constant_vector(self):
+        blocks = [[k, k + 100] for k in range(0, 50, 5)]
+        dist = differential_distribution(block_trace(blocks))
+        assert dist.distinct_vectors == 1
+        assert dist.iterations == 9
+        assert dist.coverage_at(0.01) == pytest.approx(1.0)
+
+    def test_skewed_mixture(self):
+        # 18 transitions with delta (1,); 2 odd ones.
+        blocks = [[k] for k in range(19)] + [[100], [500]]
+        dist = differential_distribution(block_trace(blocks))
+        assert dist.distinct_vectors == 3
+        # The single most frequent vector covers 18/20 transitions.
+        assert dist.coverage_at(1 / 3) == pytest.approx(18 / 20)
+
+    def test_coverage_curve_monotone(self):
+        blocks = [[k * 7 % 50] for k in range(40)]
+        dist = differential_distribution(block_trace(blocks))
+        coverages = [cov for _, cov in dist.coverage_curve]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        dist = differential_distribution(Trace("t", [], 0))
+        assert dist.iterations == 0
+        assert dist.coverage_at(0.5) == 0.0
+
+
+class TestWorkingSetDistribution:
+    def test_histogram(self):
+        trace = block_trace([[1, 2, 3], [4, 5], [6, 7]])
+        dist = working_set_distribution(trace)
+        assert dist.blocks == 3
+        assert dist.size_histogram == {3: 1, 2: 2}
+        assert dist.max_size == 3
+        assert dist.mean_size == pytest.approx(7 / 3)
+
+    def test_fraction_within_capacity(self):
+        trace = block_trace([list(range(10)), list(range(100, 120))])
+        dist = working_set_distribution(trace)
+        assert dist.fraction_within(16) == pytest.approx(0.5)
+        assert dist.fraction_within(20) == pytest.approx(1.0)
+
+    def test_duplicates_counted_once(self):
+        trace = block_trace([[1, 1, 1, 2]])
+        assert working_set_distribution(trace).size_histogram == {2: 1}
+
+    def test_empty(self):
+        dist = working_set_distribution(Trace("t", [], 0))
+        assert dist.blocks == 0
+        assert dist.fraction_within(16) == 0.0
+        assert dist.max_size == 0

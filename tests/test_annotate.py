@@ -1,0 +1,79 @@
+"""Tests for the tight-loop annotation pass (the LLVM-pass substitute)."""
+
+from repro.ir.builder import c, v
+from repro.ir.nodes import ArrayDecl, Compute, For, Kernel, Load, Store, While
+from repro.passes.annotate import annotate_tight_loops, clear_annotations
+
+
+def kernel_with(body):
+    return Kernel("k", [ArrayDecl("a", 64)], body)
+
+
+class TestSelection:
+    def test_innermost_loop_annotated(self):
+        inner = For("j", 0, 4, [Load("a", v("j"))])
+        outer = For("i", 0, 4, [inner])
+        report = annotate_tight_loops(kernel_with([outer]))
+        assert inner.block_id == 0
+        assert outer.block_id is None
+        assert report.block_count == 1
+
+    def test_loop_without_memory_ops_skipped(self):
+        loop = For("i", 0, 4, [Compute(5)])
+        report = annotate_tight_loops(kernel_with([loop]))
+        assert loop.block_id is None
+        assert report.skipped[0].reason == "no memory operations"
+
+    def test_huge_body_skipped(self):
+        loop = For("i", 0, 4, [Load("a", c(k)) for k in range(40)])
+        report = annotate_tight_loops(kernel_with([loop]),
+                                      max_static_memory_ops=32)
+        assert loop.block_id is None
+        assert "exceed" in report.skipped[0].reason
+
+    def test_no_block_pragma_respected(self):
+        loop = For("i", 0, 4, [Load("a", v("i"))], no_block=True)
+        report = annotate_tight_loops(kernel_with([loop]))
+        assert loop.block_id is None
+        assert report.skipped[0].reason == "no_block pragma"
+
+    def test_while_loops_are_candidates(self):
+        loop = While(v("x").gt(0), [Load("a", 0)])
+        kernel = kernel_with([loop])
+        report = annotate_tight_loops(kernel)
+        assert loop.block_id == 0
+        assert report.annotated[0].loop_kind == "while"
+
+
+class TestIdAssignment:
+    def test_sibling_loops_get_sequential_ids(self):
+        loop_a = For("i", 0, 4, [Load("a", v("i"))])
+        loop_b = For("j", 0, 4, [Store("a", v("j"))])
+        annotate_tight_loops(kernel_with([loop_a, loop_b]))
+        assert loop_a.block_id == 0
+        assert loop_b.block_id == 1
+
+    def test_first_block_id_offset(self):
+        loop = For("i", 0, 4, [Load("a", v("i"))])
+        annotate_tight_loops(kernel_with([loop]), first_block_id=100)
+        assert loop.block_id == 100
+
+    def test_idempotent(self):
+        loop_a = For("i", 0, 4, [Load("a", v("i"))])
+        loop_b = For("j", 0, 4, [Store("a", v("j"))])
+        kernel = kernel_with([loop_a, loop_b])
+        annotate_tight_loops(kernel)
+        annotate_tight_loops(kernel)
+        assert (loop_a.block_id, loop_b.block_id) == (0, 1)
+
+    def test_clear_annotations(self):
+        loop = For("i", 0, 4, [Load("a", v("i"))])
+        kernel = kernel_with([loop])
+        annotate_tight_loops(kernel)
+        clear_annotations(kernel)
+        assert loop.block_id is None
+
+    def test_report_counts_static_ops(self):
+        loop = For("i", 0, 4, [Load("a", v("i")), Store("a", v("i"))])
+        report = annotate_tight_loops(kernel_with([loop]))
+        assert report.annotated[0].static_memory_ops == 2

@@ -1,0 +1,105 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    bit_select,
+    fold_xor,
+    is_power_of_two,
+    line_of,
+    log2_exact,
+    mask,
+    sign_extend,
+)
+
+
+class TestMask:
+    def test_zero_bits_is_empty(self):
+        assert mask(0) == 0
+
+    def test_twelve_bits(self):
+        assert mask(12) == 0xFFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_popcount_matches_width(self, bits):
+        assert bin(mask(bits)).count("1") == bits
+
+
+class TestBitSelect:
+    def test_keeps_low_bits(self):
+        assert bit_select(0xABCD, 8) == 0xCD
+
+    def test_negative_maps_to_twos_complement(self):
+        assert bit_select(-1, 12) == 0xFFF
+
+    @given(st.integers(), st.integers(min_value=1, max_value=48))
+    def test_result_fits_width(self, value, bits):
+        assert 0 <= bit_select(value, bits) <= mask(bits)
+
+
+class TestSignExtend:
+    def test_negative_one(self):
+        assert sign_extend(0xFFF, 12) == -1
+
+    def test_max_positive(self):
+        assert sign_extend(0x7FF, 12) == 2047
+
+    def test_min_negative(self):
+        assert sign_extend(0x800, 12) == -2048
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip_within_range(self, value):
+        assert sign_extend(bit_select(value, 12), 12) == value
+
+    @given(st.integers(), st.integers(min_value=2, max_value=32))
+    def test_result_in_signed_range(self, value, bits):
+        result = sign_extend(value, bits)
+        assert -(1 << (bits - 1)) <= result < (1 << (bits - 1))
+
+
+class TestFoldXor:
+    def test_zero_folds_to_zero(self):
+        assert fold_xor(0, 16) == 0
+
+    def test_value_within_width_unchanged(self):
+        assert fold_xor(0x1234, 16) == 0x1234
+
+    def test_folding_xors_chunks(self):
+        # 0xABCD1234 folded to 16 bits = 0xABCD ^ 0x1234.
+        assert fold_xor(0xABCD1234, 16) == (0xABCD ^ 0x1234)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            fold_xor(1, 0)
+
+    @given(st.integers(min_value=0), st.integers(min_value=1, max_value=24))
+    def test_result_fits_width(self, value, bits):
+        assert 0 <= fold_xor(value, bits) <= mask(bits)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 64, 4096, 1 << 40])
+    def test_powers_accepted(self, value):
+        assert is_power_of_two(value)
+        assert 1 << log2_exact(value) == value
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 48, 100])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+        with pytest.raises(ValueError):
+            log2_exact(value)
+
+
+class TestLineOf:
+    def test_line_boundaries(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+
+    def test_custom_shift(self):
+        assert line_of(256, line_shift=7) == 2

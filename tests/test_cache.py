@@ -1,0 +1,174 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+
+
+def small_cache(ways=2, sets=4):
+    config = CacheConfig(
+        name="test", size_bytes=64 * ways * sets, associativity=ways
+    )
+    return SetAssociativeCache(config)
+
+
+class TestConfig:
+    def test_geometry_derived(self):
+        config = CacheConfig(name="l1", size_bytes=4096, associativity=4)
+        assert config.num_lines == 64
+        assert config.num_sets == 16
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(name="x", size_bytes=0, associativity=4)
+        with pytest.raises(ConfigError):
+            CacheConfig(name="x", size_bytes=1000, associativity=4)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(name="x", size_bytes=64 * 3, associativity=1)
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(5)
+        cache.insert(5)
+        assert cache.access(5)
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)
+        cache.insert(1)
+        victim = cache.insert(2)  # evicts 0 (LRU)
+        assert victim is not None and victim.line == 0
+        assert cache.contains(1) and cache.contains(2)
+
+    def test_access_refreshes_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)
+        cache.insert(1)
+        cache.access(0)  # 1 becomes LRU
+        victim = cache.insert(2)
+        assert victim.line == 1
+
+    def test_reinsert_does_not_evict(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)
+        cache.insert(1)
+        assert cache.insert(0) is None
+        assert cache.occupancy == 2
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.insert(3)
+        record = cache.invalidate(3)
+        assert record is not None and record.line == 3
+        assert not cache.contains(3)
+        assert cache.invalidate(3) is None
+
+    def test_flush_returns_everything(self):
+        cache = small_cache()
+        for line in range(6):
+            cache.insert(line)
+        evicted = {record.line for record in cache.flush()}
+        assert evicted == set(range(6))
+        assert cache.occupancy == 0
+
+    def test_set_isolation(self):
+        cache = small_cache(ways=1, sets=4)
+        cache.insert(0)
+        cache.insert(1)  # different set (line & 3)
+        assert cache.contains(0) and cache.contains(1)
+
+
+class TestPrefetchSemantics:
+    def test_prefetch_flag_tracked(self):
+        cache = small_cache()
+        cache.insert(7, from_prefetch=True)
+        assert cache.is_unused_prefetch(7)
+
+    def test_demand_access_clears_flag(self):
+        cache = small_cache()
+        cache.insert(7, from_prefetch=True)
+        cache.access(7)
+        assert not cache.is_unused_prefetch(7)
+
+    def test_prefetch_inserts_at_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)                      # demand, MRU
+        cache.insert(2, from_prefetch=True)  # prefetch, LRU
+        victim = cache.insert(4)             # evicts the prefetch first
+        assert victim.line == 2
+        assert victim.was_prefetch
+
+    def test_promoted_prefetch_survives(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)
+        cache.insert(2, from_prefetch=True)
+        cache.access(2)  # promote to MRU
+        victim = cache.insert(4)
+        assert victim.line == 0
+
+    def test_eviction_reports_unused_prefetch(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.insert(0, from_prefetch=True)
+        victim = cache.insert(1)
+        assert victim.was_prefetch
+
+    def test_redundant_prefetch_keeps_demand_status(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.insert(0)  # demand line at MRU
+        cache.insert(0, from_prefetch=True)
+        assert not cache.is_unused_prefetch(0)
+
+
+class _ReferenceLru:
+    """Oracle: per-set list ordered LRU-first."""
+
+    def __init__(self, ways, sets):
+        self.ways = ways
+        self.sets = sets
+        self.state = {index: [] for index in range(sets)}
+
+    def access(self, line):
+        bucket = self.state[line % self.sets]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return True
+        return False
+
+    def insert(self, line):
+        bucket = self.state[line % self.sets]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return None
+        victim = bucket.pop(0) if len(bucket) >= self.ways else None
+        bucket.append(line)
+        return victim
+
+
+class TestLruProperty:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=31)),
+            max_size=200,
+        )
+    )
+    def test_matches_reference_model(self, operations):
+        ways, sets = 4, 4
+        cache = small_cache(ways=ways, sets=sets)
+        oracle = _ReferenceLru(ways, sets)
+        for is_insert, line in operations:
+            if is_insert:
+                got = cache.insert(line)
+                expected = oracle.insert(line)
+                got_line = got.line if got else None
+                assert got_line == expected
+            else:
+                assert cache.access(line) == oracle.access(line)

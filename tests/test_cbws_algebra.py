@@ -1,0 +1,110 @@
+"""Tests for the CBWS / differential algebra (Equations 1 and 2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.cbws import (
+    CodeBlockWorkingSet,
+    apply_differential,
+    differential,
+)
+
+
+class TestWorkingSet:
+    def test_first_touch_order_preserved(self):
+        cbws = CodeBlockWorkingSet([5, 3, 5, 9, 3, 1])
+        assert cbws.as_tuple() == (5, 3, 9, 1)
+
+    def test_duplicates_are_ignored(self):
+        cbws = CodeBlockWorkingSet()
+        assert cbws.observe(7)
+        assert not cbws.observe(7)
+        assert len(cbws) == 1
+
+    def test_capacity_cap_and_overflow_flag(self):
+        cbws = CodeBlockWorkingSet(max_members=3)
+        for line in (1, 2, 3):
+            assert cbws.observe(line)
+        assert not cbws.overflowed
+        assert not cbws.observe(4)
+        assert cbws.overflowed
+        assert cbws.as_tuple() == (1, 2, 3)
+
+    def test_repeat_of_member_does_not_set_overflow(self):
+        cbws = CodeBlockWorkingSet([1, 2, 3], max_members=3)
+        cbws.observe(2)
+        assert not cbws.overflowed
+
+    def test_membership_and_indexing(self):
+        cbws = CodeBlockWorkingSet([10, 20])
+        assert 10 in cbws and 30 not in cbws
+        assert cbws[1] == 20
+        assert list(cbws) == [10, 20]
+
+    def test_equality_with_tuples(self):
+        assert CodeBlockWorkingSet([1, 2]) == (1, 2)
+        assert CodeBlockWorkingSet([1, 2]) == [1, 2]
+        assert CodeBlockWorkingSet([1, 2]) == CodeBlockWorkingSet([1, 2, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=100)))
+    def test_elements_unique_and_order_stable(self, lines):
+        cbws = CodeBlockWorkingSet(lines)
+        out = cbws.as_tuple()
+        assert len(set(out)) == len(out)
+        seen = []
+        for line in lines:
+            if line not in seen:
+                seen.append(line)
+        assert out == tuple(seen)
+
+
+class TestDifferential:
+    def test_paper_figure4_example(self):
+        # Figure 3 rows 0 and 1; Figure 4 first differential.
+        cbws0 = (80, 81, 6515, 4467, 5499, 5483, 5491)
+        cbws1 = (80, 81, 7539, 5491, 6523, 6507, 6515)
+        assert differential(cbws0, cbws1) == (0, 0, 1024, 1024, 1024, 1024, 1024)
+
+    def test_alignment_takes_shorter_length(self):
+        assert differential((10, 20, 30), (11, 22)) == (1, 2)
+        assert differential((10,), (11, 22, 33)) == (1,)
+
+    def test_empty_operands(self):
+        assert differential((), (1, 2)) == ()
+        assert differential((1, 2), ()) == ()
+
+    def test_negative_strides(self):
+        assert differential((100, 50), (90, 60)) == (-10, 10)
+
+    def test_accepts_working_set_objects(self):
+        a = CodeBlockWorkingSet([1, 2, 3])
+        b = CodeBlockWorkingSet([4, 6, 8])
+        assert differential(a, b) == (3, 4, 5)
+
+    @given(
+        st.lists(st.integers(-10**6, 10**6), max_size=20),
+        st.lists(st.integers(-10**6, 10**6), max_size=20),
+    )
+    def test_length_is_min(self, a, b):
+        assert len(differential(a, b)) == min(len(a), len(b))
+
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=20))
+    def test_self_differential_is_zero(self, a):
+        assert differential(a, a) == tuple([0] * len(a))
+
+
+class TestApplyDifferential:
+    def test_prediction_is_inverse_of_differential(self):
+        base = (80, 81, 6515)
+        delta = (0, 0, 1024)
+        assert apply_differential(base, delta) == (80, 81, 7539)
+
+    @given(
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=16),
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=16),
+    )
+    def test_roundtrip_property(self, older, newer):
+        """apply(older, diff(older, newer)) reconstructs the aligned
+        prefix of newer."""
+        delta = differential(older, newer)
+        predicted = apply_differential(older, delta)
+        assert predicted == tuple(newer[: len(delta)])

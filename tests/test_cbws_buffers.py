@@ -1,0 +1,97 @@
+"""Tests for the CBWS hardware buffers (Figure 8)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.buffers import CurrentCbwsBuffer, LastBlocksBuffer
+
+
+class TestCurrentCbwsBuffer:
+    def test_push_returns_append_position(self):
+        buffer = CurrentCbwsBuffer(capacity=4)
+        assert buffer.push(100) == 0
+        assert buffer.push(200) == 1
+        assert buffer.push(100) is None  # repeat
+        assert buffer.push(300) == 2
+
+    def test_capacity_enforced(self):
+        buffer = CurrentCbwsBuffer(capacity=2)
+        buffer.push(1)
+        buffer.push(2)
+        assert buffer.push(3) is None
+        assert buffer.overflowed
+        assert buffer.snapshot() == (1, 2)
+
+    def test_address_truncation_to_32_bits(self):
+        buffer = CurrentCbwsBuffer(capacity=4, line_addr_bits=32)
+        buffer.push((1 << 40) | 123)
+        assert buffer.snapshot() == (123,)
+
+    def test_truncation_can_alias(self):
+        """Two far-apart lines with equal low bits alias in hardware —
+        the second push is treated as a repeat."""
+        buffer = CurrentCbwsBuffer(capacity=4, line_addr_bits=8)
+        assert buffer.push(0x101) == 0
+        assert buffer.push(0x201) is None  # same low 8 bits
+
+    def test_clear(self):
+        buffer = CurrentCbwsBuffer(capacity=2)
+        buffer.push(1)
+        buffer.push(2)
+        buffer.push(3)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert not buffer.overflowed
+        assert buffer.push(9) == 0
+
+    def test_indexing(self):
+        buffer = CurrentCbwsBuffer(capacity=4)
+        buffer.push(7)
+        assert buffer[0] == 7
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            CurrentCbwsBuffer(capacity=0)
+
+
+class TestLastBlocksBuffer:
+    def test_step_ordering(self):
+        buffer = LastBlocksBuffer(max_step=3)
+        buffer.push((1,))
+        buffer.push((2,))
+        buffer.push((3,))
+        assert buffer.get(1) == (3,)
+        assert buffer.get(2) == (2,)
+        assert buffer.get(3) == (1,)
+
+    def test_depth_bounded(self):
+        buffer = LastBlocksBuffer(max_step=2)
+        for value in range(5):
+            buffer.push((value,))
+        assert len(buffer) == 2
+        assert buffer.get(1) == (4,)
+        assert buffer.get(2) == (3,)
+
+    def test_missing_steps_return_none(self):
+        buffer = LastBlocksBuffer(max_step=4)
+        buffer.push((1,))
+        assert buffer.get(1) == (1,)
+        assert buffer.get(2) is None
+
+    def test_step_bounds_enforced(self):
+        buffer = LastBlocksBuffer(max_step=2)
+        with pytest.raises(ConfigError):
+            buffer.get(0)
+        with pytest.raises(ConfigError):
+            buffer.get(3)
+
+    def test_clear(self):
+        buffer = LastBlocksBuffer(max_step=2)
+        buffer.push((1,))
+        buffer.clear()
+        assert buffer.get(1) is None
+        assert len(buffer) == 0
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            LastBlocksBuffer(max_step=0)

@@ -1,0 +1,151 @@
+"""Tests for the history shift registers and differential history table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.core.history import (
+    DifferentialHistoryTable,
+    HistoryShiftRegister,
+    hash_differential,
+)
+
+
+class TestHashDifferential:
+    def test_deterministic(self):
+        delta = (16, 16, -8, 0)
+        assert hash_differential(delta) == hash_differential(delta)
+
+    def test_fits_12_bits(self):
+        for delta in [(1,), (5000, -5000), tuple(range(16))]:
+            assert 0 <= hash_differential(delta) <= 0xFFF
+
+    def test_empty_reserved_value(self):
+        assert hash_differential(()) == 0xFFF
+
+    def test_order_sensitive(self):
+        assert hash_differential((1, 2)) != hash_differential((2, 1))
+
+    def test_length_sensitive(self):
+        assert hash_differential((7,)) != hash_differential((7, 7))
+
+    @given(st.lists(st.integers(-32768, 32767), max_size=16),
+           st.integers(min_value=4, max_value=20))
+    def test_width_respected(self, delta, bits):
+        assert 0 <= hash_differential(tuple(delta), bits) < (1 << bits)
+
+
+class TestShiftRegister:
+    def test_fill_tracking(self):
+        register = HistoryShiftRegister(depth=3)
+        assert not register.filled
+        for value in (1, 2, 3):
+            register.shift(value)
+        assert register.filled
+
+    def test_depth_bounded(self):
+        register = HistoryShiftRegister(depth=2)
+        for value in (1, 2, 3):
+            register.shift(value)
+        assert len(register) == 2
+
+    def test_tag_changes_with_history(self):
+        a = HistoryShiftRegister(depth=3)
+        b = HistoryShiftRegister(depth=3)
+        for value in (1, 2, 3):
+            a.shift(value)
+        for value in (3, 2, 1):
+            b.shift(value)
+        assert a.tag() != b.tag()
+
+    def test_tag_deterministic(self):
+        a = HistoryShiftRegister(depth=3)
+        b = HistoryShiftRegister(depth=3)
+        for value in (5, 9, 12):
+            a.shift(value)
+            b.shift(value)
+        assert a.tag() == b.tag()
+
+    def test_tag_fits_16_bits(self):
+        register = HistoryShiftRegister(depth=3)
+        for value in (0xFFF, 0xFFF, 0xFFF):
+            register.shift(value)
+        assert 0 <= register.tag(16) <= 0xFFFF
+
+    def test_clear(self):
+        register = HistoryShiftRegister(depth=3)
+        register.shift(1)
+        register.clear()
+        assert len(register) == 0
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            HistoryShiftRegister(depth=0)
+
+
+class TestHistoryTable:
+    def test_insert_lookup(self):
+        table = DifferentialHistoryTable(entries=4)
+        table.insert(0x12, (1, 2, 3))
+        assert table.lookup(0x12) == (1, 2, 3)
+        assert table.lookup(0x13) is None
+
+    def test_update_in_place(self):
+        table = DifferentialHistoryTable(entries=4)
+        table.insert(0x12, (1,))
+        table.insert(0x12, (2,))
+        assert table.lookup(0x12) == (2,)
+        assert len(table) == 1
+
+    def test_capacity_with_random_eviction(self):
+        table = DifferentialHistoryTable(
+            entries=4, rng=DeterministicRng(1)
+        )
+        for tag in range(10):
+            table.insert(tag, (tag,))
+        assert len(table) == 4
+
+    def test_random_eviction_is_seeded(self):
+        def fill(seed):
+            table = DifferentialHistoryTable(entries=4,
+                                             rng=DeterministicRng(seed))
+            for tag in range(32):
+                table.insert(tag, (tag,))
+            return sorted(tag for tag in range(32) if tag in table)
+
+        assert fill(7) == fill(7)
+
+    def test_hit_rate_tracking(self):
+        table = DifferentialHistoryTable(entries=4)
+        table.insert(1, (1,))
+        table.lookup(1)
+        table.lookup(2)
+        assert table.hit_rate == pytest.approx(0.5)
+
+    def test_tags_masked_to_width(self):
+        table = DifferentialHistoryTable(entries=4, tag_bits=8)
+        table.insert(0x1FF, (9,))
+        assert table.lookup(0xFF) == (9,)
+
+    def test_clear(self):
+        table = DifferentialHistoryTable(entries=4)
+        table.insert(1, (1,))
+        table.lookup(1)
+        table.clear()
+        assert len(table) == 0
+        assert table.lookups == 0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            DifferentialHistoryTable(entries=0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 0xFFFF),
+                              st.lists(st.integers(-100, 100), max_size=4)),
+                    max_size=100))
+    def test_occupancy_never_exceeds_capacity(self, inserts):
+        table = DifferentialHistoryTable(entries=8)
+        for tag, delta in inserts:
+            table.insert(tag, tuple(delta))
+            assert len(table) <= 8

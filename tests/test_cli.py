@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_workloads(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil-default" in out
+        assert "458.sjeng-ref" in out
+        assert out.count("\n") >= 30
+
+    def test_prefetchers(self, capsys):
+        assert main(["list", "prefetchers"]) == 0
+        out = capsys.readouterr().out
+        assert "cbws+sms" in out and "ghb-pc/dc" in out
+
+
+class TestRun:
+    def test_single_cell(self, capsys):
+        code = main([
+            "run", "--workload", "nw", "--prefetcher", "cbws",
+            "--budget-fraction", "0.03",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nw" in out and "cbws" in out
+        assert "IPC" in out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        code = main([
+            "run", "--workload", "nope", "--prefetcher", "cbws",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_table3(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1", "--budget-fraction", "0.05"]) == 0
+        assert "CBWS0" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1", "--budget-fraction", "0.03"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+
+class TestTraceRoundTrip:
+    def test_trace_then_inspect(self, tmp_path, capsys):
+        path = tmp_path / "nw.trace"
+        assert main([
+            "trace", "--workload", "nw", "--out", str(path),
+            "--accesses", "500",
+        ]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "memory accesses:   500" in out
+        assert "loop fraction:" in out
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"not a trace")
+        assert main(["inspect", str(path)]) == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+
+class TestJsonExport:
+    def test_run_with_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "out.json"
+        code = main([
+            "run", "--workload", "nw", "--prefetcher", "cbws",
+            "--budget-fraction", "0.03", "--json", str(path),
+        ])
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert document["results"][0]["workload"] == "nw"
+        assert document["metadata"]["budget_fraction"] == 0.03

@@ -1,0 +1,128 @@
+"""Property-based tests over the simulation engine.
+
+Random (but well-formed) traces driven through random prefetchers must
+always satisfy the engine's accounting invariants — the same checks the
+integration suite applies to real workloads, here over a much wilder
+input space.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.registry import PAPER_PREFETCHER_ORDER, make_prefetcher
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.sim.config import CoreConfig, PrefetchPathConfig, SimConfig
+from repro.sim.engine import simulate
+from repro.sim.results import DemandClass
+from repro.trace.events import BlockBegin, BlockEnd, MemoryAccess
+from repro.trace.stream import Trace
+
+_CONFIG = SimConfig(
+    hierarchy=HierarchyConfig(
+        l1=CacheConfig(name="L1", size_bytes=512, associativity=2),
+        l2=CacheConfig(name="L2", size_bytes=4096, associativity=4),
+    ),
+    core=CoreConfig(),
+    prefetch=PrefetchPathConfig(queue_capacity=16, issue_interval=4,
+                                max_in_flight=8),
+)
+
+
+@st.composite
+def random_traces(draw):
+    """Well-formed traces mixing strided runs, random jumps and blocks."""
+    events = []
+    icount = 0
+    block_open = False
+    base = draw(st.integers(min_value=0, max_value=1 << 20)) * 64
+    for _ in range(draw(st.integers(min_value=1, max_value=120))):
+        icount += draw(st.integers(min_value=1, max_value=30))
+        roll = draw(st.integers(min_value=0, max_value=9))
+        if roll == 0 and not block_open:
+            events.append(BlockBegin(icount, draw(st.integers(0, 3))))
+            block_open = True
+        elif roll == 1 and block_open:
+            events.append(BlockEnd(icount, events[-1].block_id
+                                   if isinstance(events[-1], BlockBegin)
+                                   else _open_id(events)))
+            block_open = False
+        else:
+            if draw(st.booleans()):
+                base += draw(st.integers(min_value=-4, max_value=4)) * 64
+                base = max(0, base)
+            else:
+                base = draw(st.integers(min_value=0, max_value=1 << 20)) * 64
+            events.append(
+                MemoryAccess(icount, draw(st.integers(0, 7)) * 16 + 0x400000,
+                             base, draw(st.booleans()))
+            )
+    if block_open:
+        icount += 1
+        events.append(BlockEnd(icount, _open_id(events)))
+    return Trace("prop", events, icount + 10)
+
+
+def _open_id(events):
+    for event in reversed(events):
+        if isinstance(event, BlockBegin):
+            return event.block_id
+    raise AssertionError("no open block")
+
+
+class TestEngineInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        random_traces(),
+        st.sampled_from(PAPER_PREFETCHER_ORDER),
+    )
+    def test_accounting_invariants(self, trace, prefetcher_name):
+        trace.validate()
+        result = simulate(_CONFIG, make_prefetcher(prefetcher_name), trace)
+
+        # Cycles are bounded below by retire bandwidth and above by
+        # fully-serialized memory accesses.
+        assert result.cycles >= trace.instructions / _CONFIG.core.width
+        upper = (
+            trace.instructions / _CONFIG.core.width
+            + result.demand_accesses * (_CONFIG.core.memory_latency + 2)
+        )
+        assert result.cycles <= upper + 1
+
+        # The demand classes partition the L1 misses exactly.
+        partitioned = sum(
+            result.classes[cls]
+            for cls in (
+                DemandClass.TIMELY,
+                DemandClass.SHORTER_WAITING,
+                DemandClass.NON_TIMELY,
+                DemandClass.MISSING,
+                DemandClass.PLAIN_HIT,
+            )
+        )
+        assert partitioned == result.l1_misses
+        assert result.llc_misses <= result.l1_misses <= result.demand_accesses
+
+        # Prefetch accounting closes.
+        assert result.prefetch_fills <= result.prefetches_issued
+        assert (
+            result.useful_prefetches + result.wrong_prefetches
+            <= result.prefetches_issued
+        )
+        assert result.prefetch_bytes_read == 64 * result.prefetches_issued
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_traces())
+    def test_no_prefetch_is_pure_demand(self, trace):
+        result = simulate(_CONFIG, make_prefetcher("no-prefetch"), trace)
+        assert result.prefetches_issued == 0
+        assert result.classes[DemandClass.TIMELY] == 0
+        assert result.classes[DemandClass.SHORTER_WAITING] == 0
+        assert result.wrong_prefetches == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_traces(), st.sampled_from(["cbws", "cbws+sms", "sms"]))
+    def test_determinism(self, trace, prefetcher_name):
+        first = simulate(_CONFIG, make_prefetcher(prefetcher_name), trace)
+        second = simulate(_CONFIG, make_prefetcher(prefetcher_name), trace)
+        assert first.cycles == second.cycles
+        assert first.classes == second.classes

@@ -1,0 +1,95 @@
+"""Tests for the JSON/CSV result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.export import (
+    CSV_COLUMNS,
+    grid_to_records,
+    load_json,
+    result_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.metrics.aggregate import ResultGrid
+from repro.sim.results import DemandClass, SimResult
+
+
+def make_result(workload="w", prefetcher="p"):
+    result = SimResult(workload=workload, prefetcher=prefetcher)
+    result.instructions = 10_000
+    result.cycles = 2_500.0
+    result.demand_accesses = 3_000
+    result.l1_misses = 500
+    result.llc_misses = 200
+    result.classes[DemandClass.TIMELY] = 150
+    result.classes[DemandClass.MISSING] = 200
+    result.classes[DemandClass.PLAIN_HIT] = 150
+    result.prefetches_issued = 300
+    result.useful_prefetches = 200
+    result.wrong_prefetches = 40
+    result.prefetch_bytes_read = 300 * 64
+    return result
+
+
+class TestResultToDict:
+    def test_scalar_fields(self):
+        record = result_to_dict(make_result())
+        assert record["workload"] == "w"
+        assert record["ipc"] == pytest.approx(4.0)
+        assert record["mpki"] == pytest.approx(20.0)
+        assert record["accuracy"] == pytest.approx(200 / 300)
+
+    def test_fractions_match_breakdown(self):
+        record = result_to_dict(make_result())
+        assert record["timely_fraction"] == pytest.approx(150 / 500)
+        assert record["wrong_fraction"] == pytest.approx(40 / 500)
+
+    def test_json_serializable(self):
+        json.dumps(result_to_dict(make_result()))
+
+
+class TestGridExport:
+    @pytest.fixture
+    def grid(self):
+        return ResultGrid([
+            make_result("w1", "sms"),
+            make_result("w1", "cbws"),
+            make_result("w2", "sms"),
+            make_result("w2", "cbws"),
+        ])
+
+    def test_records_cover_grid(self, grid):
+        records = grid_to_records(grid)
+        assert len(records) == 4
+        keys = {(r["workload"], r["prefetcher"]) for r in records}
+        assert keys == {("w1", "sms"), ("w1", "cbws"),
+                        ("w2", "sms"), ("w2", "cbws")}
+
+    def test_json_round_trip(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        write_json(grid, path, budget_fraction=0.5, note="unit test")
+        document = load_json(path)
+        assert document["metadata"]["budget_fraction"] == 0.5
+        assert document["workloads"] == ["w1", "w2"]
+        assert len(document["results"]) == 4
+
+    def test_csv_round_trip(self, grid, tmp_path):
+        path = tmp_path / "grid.csv"
+        write_csv(grid, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert set(rows[0]) == set(CSV_COLUMNS)
+        assert float(rows[0]["ipc"]) == pytest.approx(4.0)
+
+
+class TestRealGridExport:
+    def test_export_from_simulation(self, tiny_runner, tmp_path):
+        grid = tiny_runner.run_grid(["nw"], ["no-prefetch", "cbws+sms"])
+        write_json(grid, tmp_path / "real.json")
+        document = load_json(tmp_path / "real.json")
+        cells = {r["prefetcher"]: r for r in document["results"]}
+        assert cells["cbws+sms"]["ipc"] >= cells["no-prefetch"]["ipc"]

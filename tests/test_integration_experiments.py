@@ -1,0 +1,98 @@
+"""Integration: every experiment function runs and renders at tiny budget."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.runner import GridRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return GridRunner(budget_fraction=0.05)
+
+
+class TestAnalysisExperiments:
+    def test_figure1(self, runner):
+        result = experiments.figure1(runner)
+        assert len(result.stats) == 15
+        assert 0.4 < result.average <= 1.0
+        assert "Figure 1" in result.render()
+
+    def test_table1_reproduces_constant_differential(self, runner):
+        result = experiments.table1(runner)
+        assert len(result.cbws_vectors) == 8
+        assert result.constant_differential, (
+            "the stencil CBWS differentials must be one constant vector "
+            "(Figure 4)"
+        )
+        assert "CBWS0" in result.render()
+
+    def test_figure5(self, runner):
+        result = experiments.figure5(runner)
+        assert set(result.distributions) == set(experiments.FIGURE5_WORKLOADS)
+        for dist in result.distributions.values():
+            assert dist.iterations > 0
+        assert "Figure 5" in result.render()
+
+    def test_figure5_skew_ordering(self, runner):
+        """Block-structured kernels are far more skewed than fft-like
+        ones: stencil needs only a vector or two, streamcluster many."""
+        result = experiments.figure5(runner)
+        stencil = result.distributions["stencil-default"]
+        streamcluster = result.distributions["streamcluster-simlarge"]
+        assert stencil.distinct_vectors < streamcluster.distinct_vectors
+
+    def test_table3_storage(self):
+        result = experiments.table3()
+        assert result.estimates["cbws"].kilobytes < 1.3
+        assert result.estimates["sms"].kilobytes > 4
+        assert "Table III" in result.render()
+
+    def test_working_set_claim(self, runner):
+        result = experiments.working_set_claim(
+            runner, workloads=["stencil-default", "401.bzip2-source", "nw"]
+        )
+        assert result.distributions["401.bzip2-source"].fraction_within(16) < 0.1
+        assert result.distributions["stencil-default"].fraction_within(16) == 1.0
+        assert "16" in result.render()
+
+
+class TestGridExperiments:
+    """Smaller grids than the real figures, same code paths."""
+
+    def test_figure12_structure(self, runner):
+        result = experiments.figure12(runner)
+        assert len(result.grid.workloads) == 15
+        assert result.mpki("stencil-default", "no-prefetch") > 0
+        assert "Figure 12" in result.render()
+
+    def test_figure13_structure(self, runner):
+        result = experiments.figure13(runner)
+        breakdown = result.breakdown("stencil-default", "cbws")
+        assert 0 <= breakdown.timely <= 1
+        assert "Figure 13" in result.render()
+
+    def test_figure15_structure(self, runner):
+        result = experiments.figure15(runner)
+        assert result.perf_cost("stencil-default", "no-prefetch") == (
+            pytest.approx(1.0)
+        )
+        assert "Figure 15" in result.render()
+
+
+class TestAblations:
+    def test_history_depth_sweep(self, runner):
+        result = experiments.ablation_history_depth(runner, values=[1, 4])
+        for workload in experiments.ABLATION_WORKLOADS:
+            assert set(result.ipc[workload]) == {1, 4}
+            for ipc in result.ipc[workload].values():
+                assert ipc > 0
+        assert "max_step" in result.render()
+
+    def test_table_size_sweep(self, runner):
+        result = experiments.ablation_table_size(runner, values=[4, 16])
+        assert all(len(v) == 2 for v in result.ipc.values())
+
+    def test_vector_members_sweep(self, runner):
+        result = experiments.ablation_vector_members(runner, values=[8, 32])
+        assert "401.bzip2-source" in result.ipc

@@ -1,0 +1,73 @@
+"""Integration: kernel -> annotation -> trace -> simulation, end to end."""
+
+import pytest
+
+from repro.harness.registry import PAPER_PREFETCHER_ORDER, make_prefetcher
+from repro.sim.config import REDUCED_CONFIG
+from repro.sim.engine import simulate
+from repro.sim.results import DemandClass
+from repro.workloads import build_trace, get_workload
+
+from conftest import annotated_trace, make_strided_kernel
+
+
+@pytest.fixture(scope="module")
+def stencil_trace():
+    return build_trace(get_workload("stencil-default"), max_accesses=6000)
+
+
+@pytest.mark.parametrize("prefetcher_name", PAPER_PREFETCHER_ORDER)
+class TestEveryPrefetcherRuns:
+    def test_simulation_invariants(self, stencil_trace, prefetcher_name):
+        result = simulate(
+            REDUCED_CONFIG, make_prefetcher(prefetcher_name), stencil_trace
+        )
+        assert result.cycles > 0
+        assert 0 < result.ipc <= REDUCED_CONFIG.core.width
+        assert result.demand_accesses == sum(
+            1 for _ in stencil_trace.memory_events()
+        )
+        # The five demand classes partition the L1 misses.
+        partitioned = sum(
+            result.classes[cls]
+            for cls in (
+                DemandClass.TIMELY,
+                DemandClass.SHORTER_WAITING,
+                DemandClass.NON_TIMELY,
+                DemandClass.MISSING,
+                DemandClass.PLAIN_HIT,
+            )
+        )
+        assert partitioned == result.l1_misses
+        assert result.llc_misses <= result.l1_misses
+        # Byte accounting: every issued prefetch paid one line.
+        assert result.prefetch_bytes_read == 64 * result.prefetches_issued
+        assert result.prefetch_fills <= result.prefetches_issued
+        assert (
+            result.useful_prefetches + result.wrong_prefetches
+            <= result.prefetches_issued
+        )
+
+
+class TestPrefetchingHelps:
+    def test_any_prefetcher_beats_nothing_on_streams(self):
+        trace = annotated_trace(make_strided_kernel(iterations=1500))
+        baseline = simulate(REDUCED_CONFIG, make_prefetcher("no-prefetch"), trace)
+        for name in ("stride", "ghb-pc/dc", "cbws", "cbws+sms"):
+            result = simulate(REDUCED_CONFIG, make_prefetcher(name), trace)
+            assert result.ipc > baseline.ipc, (
+                f"{name} should beat no-prefetch on a strided loop"
+            )
+
+    def test_cbws_eliminates_strided_loop_misses(self):
+        trace = annotated_trace(make_strided_kernel(iterations=1500))
+        baseline = simulate(REDUCED_CONFIG, make_prefetcher("no-prefetch"), trace)
+        cbws = simulate(REDUCED_CONFIG, make_prefetcher("cbws"), trace)
+        assert cbws.mpki < baseline.mpki * 0.2
+
+    def test_simulation_is_deterministic(self, stencil_trace):
+        first = simulate(REDUCED_CONFIG, make_prefetcher("cbws+sms"), stencil_trace)
+        second = simulate(REDUCED_CONFIG, make_prefetcher("cbws+sms"), stencil_trace)
+        assert first.cycles == second.cycles
+        assert first.classes == second.classes
+        assert first.prefetches_issued == second.prefetches_issued

@@ -1,0 +1,93 @@
+"""Integration: the paper's headline shapes at reduced budget.
+
+These are the acceptance criteria of DESIGN.md section 5 — who wins,
+roughly by what factor — asserted with generous margins so the suite
+stays robust at small trace budgets.
+"""
+
+import pytest
+
+from repro.harness.runner import GridRunner
+from repro.metrics.speedup import speedup_table
+from repro.sim.results import DemandClass
+
+
+SHAPE_WORKLOADS = [
+    "stencil-default",
+    "sgemm-medium",
+    "nw",
+    "462.libquantum-ref",
+    "401.bzip2-source",
+    "histo-large",
+]
+
+PREFETCHERS = ["no-prefetch", "stride", "sms", "cbws", "cbws+sms"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    runner = GridRunner(budget_fraction=0.15)
+    return runner.run_grid(SHAPE_WORKLOADS, PREFETCHERS)
+
+
+class TestHeadlineShapes:
+    def test_cbws_sms_at_least_matches_sms_everywhere(self, grid):
+        """The integrated prefetcher must never fall meaningfully below
+        its SMS fall-back."""
+        for workload in SHAPE_WORKLOADS:
+            hybrid = grid.get(workload, "cbws+sms").ipc
+            sms = grid.get(workload, "sms").ipc
+            assert hybrid >= sms * 0.93, workload
+
+    def test_cbws_sms_wins_clearly_on_block_structured_loops(self, grid):
+        """Stencil / sgemm / nw are the CBWS showcases (Section VII-C)."""
+        for workload in ("stencil-default", "sgemm-medium", "nw"):
+            hybrid = grid.get(workload, "cbws+sms").ipc
+            sms = grid.get(workload, "sms").ipc
+            assert hybrid > sms * 1.02, workload
+
+    def test_average_speedup_over_sms(self, grid):
+        """The headline: CBWS+SMS beats SMS on average (paper: 1.16x
+        over all benchmarks, 1.31x on the MI group)."""
+        table = speedup_table(grid, workloads=SHAPE_WORKLOADS)
+        assert table["average"]["cbws+sms"] > 1.05
+
+    def test_sms_is_best_non_cbws_prefetcher(self, grid):
+        table = speedup_table(grid, workloads=SHAPE_WORKLOADS)
+        average = table["average"]
+        assert average["sms"] >= average["stride"]
+        assert average["sms"] >= average["no-prefetch"]
+
+    def test_standalone_cbws_loses_on_overflowing_blocks(self, grid):
+        """bzip2's 24-line blocks overflow the 16-line buffer: standalone
+        CBWS must trail SMS there (Section VII-C)."""
+        cbws = grid.get("401.bzip2-source", "cbws").ipc
+        sms = grid.get("401.bzip2-source", "sms").ipc
+        assert cbws < sms
+
+    def test_nobody_fixes_data_dependent_histogram(self, grid):
+        """histo's bin accesses are data-dependent (Figure 16): no
+        prefetcher gets close to eliminating its misses."""
+        baseline = grid.get("histo-large", "no-prefetch").mpki
+        for name in ("stride", "sms", "cbws", "cbws+sms"):
+            assert grid.get("histo-large", name).mpki > baseline * 0.3
+
+
+class TestAccuracyShapes:
+    def test_cbws_accuracy_on_regular_loops(self, grid):
+        """Standalone CBWS only prefetches on history hits, so its wrong
+        fraction stays small on its showcase workloads (Fig. 13: ~5%)."""
+        for workload in ("stencil-default", "sgemm-medium"):
+            result = grid.get(workload, "cbws")
+            assert result.wrong_fraction < 0.15, workload
+
+    def test_cbws_coverage_on_showcases(self, grid):
+        """CBWS turns nearly all stencil/sgemm misses into covered
+        accesses (timely or in-flight)."""
+        for workload in ("stencil-default", "sgemm-medium"):
+            result = grid.get(workload, "cbws")
+            covered = (
+                result.classes[DemandClass.TIMELY]
+                + result.classes[DemandClass.SHORTER_WAITING]
+            )
+            assert covered > 0.7 * result.l1_misses, workload

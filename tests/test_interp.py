@@ -1,0 +1,250 @@
+"""Tests for the IR interpreter: trace emission, accounting, budgets."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.ir.builder import c, v
+from repro.ir.interp import ExecutionLimits, Interpreter, run_kernel
+from repro.ir.nodes import (
+    ArrayDecl,
+    Assign,
+    Compute,
+    For,
+    If,
+    Kernel,
+    Load,
+    Store,
+    While,
+)
+from repro.passes.annotate import annotate_tight_loops
+from repro.trace.events import BLOCK_BEGIN, BLOCK_END, MEMORY_ACCESS
+
+
+class TestBasicExecution:
+    def test_load_store_emit_events(self):
+        kernel = Kernel("k", [ArrayDecl("a", 4)], [Load("a", 0), Store("a", 1)])
+        trace = run_kernel(kernel)
+        events = list(trace.memory_events())
+        assert len(events) == 2
+        assert not events[0].is_write
+        assert events[1].is_write
+
+    def test_addresses_respect_element_size(self):
+        kernel = Kernel("k", [ArrayDecl("a", 8, element_size=4)],
+                        [Load("a", 0), Load("a", 1), Load("a", 3)])
+        events = list(run_kernel(kernel).memory_events())
+        base = events[0].address
+        assert events[1].address == base + 4
+        assert events[2].address == base + 12
+
+    def test_distinct_arrays_get_distinct_lines(self):
+        kernel = Kernel(
+            "k",
+            [ArrayDecl("a", 4), ArrayDecl("b", 4)],
+            [Load("a", 0), Load("b", 0)],
+        )
+        events = list(run_kernel(kernel).memory_events())
+        assert events[0].line != events[1].line
+
+    def test_out_of_bounds_raises(self):
+        kernel = Kernel("k", [ArrayDecl("a", 4)], [Load("a", 9)])
+        with pytest.raises(WorkloadError, match="out of range"):
+            run_kernel(kernel)
+
+    def test_unbound_variable_raises(self):
+        kernel = Kernel("k", [ArrayDecl("a", 4)], [Load("a", v("missing"))])
+        with pytest.raises(WorkloadError, match="before assignment"):
+            run_kernel(kernel)
+
+
+class TestDataSemantics:
+    def test_load_binds_value(self):
+        # a[0] = 7 (via init), then b[a[0]] touches index 7.
+        kernel = Kernel(
+            "k",
+            [
+                ArrayDecl("a", 1, init=lambda rng: __import__("numpy").array([7])),
+                ArrayDecl("b", 16),
+            ],
+            [Load("a", 0, dst="x"), Load("b", v("x"))],
+        )
+        events = list(run_kernel(kernel).memory_events())
+        b_base = Interpreter(kernel).address_space.lookup("b").base
+        assert events[1].address == b_base + 7 * 8
+
+    def test_store_updates_data(self):
+        kernel = Kernel(
+            "k",
+            [ArrayDecl("a", 4)],
+            [
+                Store("a", 2, c(41)),
+                Load("a", 2, dst="x"),
+                Store("a", 3, v("x") + 1),
+            ],
+        )
+        interp = Interpreter(kernel)
+        interp.run()
+        assert interp.array_values("a")[2] == 41
+        assert interp.array_values("a")[3] == 42
+
+    def test_histogram_increment_pattern(self):
+        import numpy as np
+
+        kernel = Kernel(
+            "histo",
+            [
+                ArrayDecl("img", 8, init=lambda rng: np.array([1, 1, 2, 1, 0, 2, 1, 1])),
+                ArrayDecl("bins", 4),
+            ],
+            [
+                For("i", 0, 8, [
+                    Load("img", v("i"), dst="px"),
+                    Load("bins", v("px"), dst="n"),
+                    Store("bins", v("px"), v("n") + 1),
+                ]),
+            ],
+        )
+        interp = Interpreter(kernel)
+        interp.run()
+        assert list(interp.array_values("bins")) == [1, 5, 2, 0]
+
+
+class TestControlFlow:
+    def test_if_takes_correct_branch(self):
+        kernel = Kernel(
+            "k",
+            [ArrayDecl("a", 4)],
+            [
+                Assign("x", 1),
+                If(v("x").eq(1), [Store("a", 0)], [Store("a", 1)]),
+                If(v("x").eq(0), [Store("a", 2)], [Store("a", 3)]),
+            ],
+        )
+        interp = Interpreter(kernel)
+        interp.run()
+        values = interp.array_values("a")
+        # Store default value is 0, so check via emitted addresses instead.
+        events = list(interp._events)  # noqa: SLF001 - test introspection
+        indices = sorted(
+            (e.address - interp.address_space.lookup("a").base) // 8
+            for e in events
+        )
+        assert indices == [0, 3]
+        assert values is not None
+
+    def test_for_step(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 10)],
+            [For("i", 0, 10, [Load("a", v("i"))], step=3)],
+        )
+        events = list(run_kernel(kernel).memory_events())
+        assert len(events) == 4  # i = 0, 3, 6, 9
+
+    def test_while_guard_raises_on_runaway(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 4)],
+            [While(c(1), [Load("a", 0)], max_iterations=10)],
+        )
+        with pytest.raises(WorkloadError, match="exceeded"):
+            run_kernel(kernel)
+
+    def test_while_terminates_on_condition(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 8)],
+            [
+                Assign("n", 0),
+                While(v("n").lt(5), [Load("a", v("n")), Assign("n", v("n") + 1)]),
+            ],
+        )
+        assert len(list(run_kernel(kernel).memory_events())) == 5
+
+
+class TestInstructionAccounting:
+    def test_icount_monotone_and_positive(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 16)],
+            [For("i", 0, 16, [Load("a", v("i")), Compute(3)])],
+        )
+        trace = run_kernel(kernel)
+        icounts = [event.icount for event in trace.events]
+        assert icounts == sorted(icounts)
+        assert trace.instructions >= icounts[-1]
+
+    def test_compute_adds_exactly_count(self):
+        base = run_kernel(Kernel("k", [ArrayDecl("a", 1)], [Load("a", 0)]))
+        extra = run_kernel(
+            Kernel("k", [ArrayDecl("a", 1)], [Load("a", 0), Compute(25)])
+        )
+        assert extra.instructions - base.instructions == 25
+
+
+class TestBlockMarkers:
+    def test_annotated_loop_emits_balanced_markers(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 8)],
+            [For("i", 0, 8, [Load("a", v("i"))])],
+        )
+        annotate_tight_loops(kernel)
+        trace = run_kernel(kernel)
+        trace.validate()
+        kinds = [event.kind for event in trace.events]
+        assert kinds.count(BLOCK_BEGIN) == 8
+        assert kinds.count(BLOCK_END) == 8
+
+    def test_unannotated_loop_emits_no_markers(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 8)],
+            [For("i", 0, 8, [Load("a", v("i"))])],
+        )
+        trace = run_kernel(kernel)
+        assert all(event.kind == MEMORY_ACCESS for event in trace.events)
+
+
+class TestBudgets:
+    def test_access_budget_truncates_cleanly(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 1000)],
+            [For("i", 0, 1000, [Load("a", v("i"))])],
+        )
+        annotate_tight_loops(kernel)
+        trace = run_kernel(
+            kernel, limits=ExecutionLimits(max_memory_accesses=100)
+        )
+        trace.validate()  # markers stay balanced after truncation
+        assert sum(1 for _ in trace.memory_events()) == 100
+
+    def test_instruction_budget(self):
+        kernel = Kernel(
+            "k", [ArrayDecl("a", 1000)],
+            [For("i", 0, 1000, [Load("a", v("i")), Compute(10)])],
+        )
+        trace = run_kernel(
+            kernel, limits=ExecutionLimits(max_instructions=500)
+        )
+        assert trace.instructions <= 520  # one iteration of slack
+
+    def test_seed_changes_data_not_structure(self):
+        import numpy as np
+
+        def init(rng):
+            return rng.integers(0, 8, size=8)
+
+        def build():
+            return Kernel(
+                "k",
+                [ArrayDecl("idx", 8, init=init), ArrayDecl("a", 8)],
+                [For("i", 0, 8, [
+                    Load("idx", v("i"), dst="j"),
+                    Load("a", v("j")),
+                ])],
+            )
+
+        trace_a = run_kernel(build(), seed=1)
+        trace_b = run_kernel(build(), seed=2)
+        trace_a2 = run_kernel(build(), seed=1)
+        assert [e.address for e in trace_a.events] == [
+            e.address for e in trace_a2.events
+        ]
+        assert [e.address for e in trace_a.events] != [
+            e.address for e in trace_b.events
+        ]

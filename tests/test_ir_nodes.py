@@ -1,0 +1,111 @@
+"""Tests for IR expression/statement construction."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ir.builder import c, maximum, minimum, v
+from repro.ir.nodes import (
+    ArrayDecl,
+    BINOP_EVALUATORS,
+    BinOp,
+    Compute,
+    Const,
+    For,
+    Kernel,
+    Load,
+    Store,
+    Var,
+    While,
+)
+
+
+class TestExpressions:
+    def test_operator_overloading_builds_binop(self):
+        expr = v("i") + c(3) * v("j")
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.rhs, BinOp)
+        assert expr.rhs.op == "*"
+
+    def test_int_operands_are_wrapped(self):
+        expr = v("i") + 5
+        assert isinstance(expr.rhs, Const)
+        assert expr.rhs.value == 5
+
+    def test_reflected_operators(self):
+        expr = 5 - v("i")
+        assert isinstance(expr.lhs, Const)
+        assert expr.lhs.value == 5
+
+    def test_comparison_helpers(self):
+        assert v("i").lt(3).op == "<"
+        assert v("i").ge(3).op == ">="
+        assert v("i").eq(3).op == "=="
+        assert v("i").ne(3).op == "!="
+
+    def test_min_max_builders(self):
+        assert minimum(v("a"), 2).op == "min"
+        assert maximum(3, v("b")).op == "max"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValidationError):
+            BinOp("**", c(1), c(2))
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 3, 12),
+            ("//", 7, 2, 3),
+            ("%", 7, 3, 1),
+            ("//", 7, 0, 0),   # C-unsafe division guarded to 0
+            ("%", 7, 0, 0),
+            ("&", 0b1100, 0b1010, 0b1000),
+            ("|", 0b1100, 0b1010, 0b1110),
+            ("^", 0b1100, 0b1010, 0b0110),
+            ("<<", 1, 4, 16),
+            (">>", 16, 2, 4),
+            ("<", 1, 2, 1),
+            (">=", 2, 2, 1),
+            ("==", 3, 4, 0),
+            ("min", 3, 7, 3),
+            ("max", 3, 7, 7),
+        ],
+    )
+    def test_evaluators(self, op, a, b, expected):
+        assert BINOP_EVALUATORS[op](a, b) == expected
+
+
+class TestStatements:
+    def test_for_step_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            For("i", 0, 10, [], step=0)
+
+    def test_compute_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Compute(-1)
+
+    def test_loops_start_unannotated(self):
+        assert For("i", 0, 1, []).block_id is None
+        assert While(c(0), []).block_id is None
+
+    def test_load_store_start_unnumbered(self):
+        assert Load("a", 0).pc == -1
+        assert Store("a", 0).pc == -1
+
+
+class TestKernel:
+    def test_duplicate_arrays_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Kernel("k", [ArrayDecl("a", 1), ArrayDecl("a", 2)], [])
+
+    def test_array_decl_geometry_validated(self):
+        with pytest.raises(ValidationError):
+            ArrayDecl("a", 0)
+        with pytest.raises(ValidationError):
+            ArrayDecl("a", 4, element_size=0)
+
+    def test_repr(self):
+        kernel = Kernel("k", [ArrayDecl("a", 1)], [Compute(1)])
+        assert "k" in repr(kernel)

@@ -1,0 +1,100 @@
+"""Tests for kernel validation and static numbering."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ir.builder import c, v
+from repro.ir.nodes import (
+    ArrayDecl,
+    Compute,
+    For,
+    If,
+    Kernel,
+    Load,
+    Store,
+    While,
+)
+from repro.ir.validate import (
+    count_memory_ops,
+    loop_contains_loop,
+    number_kernel,
+    validate_kernel,
+)
+
+
+def nested_kernel():
+    inner = For("j", 0, 4, [Load("a", v("j")), Store("a", v("j"))])
+    outer = For("i", 0, 4, [inner, Compute(1)])
+    return Kernel("nest", [ArrayDecl("a", 16)], [outer]), inner, outer
+
+
+class TestValidation:
+    def test_undeclared_array_rejected(self):
+        kernel = Kernel("k", [ArrayDecl("a", 4)], [Load("b", 0)])
+        with pytest.raises(ValidationError, match="undeclared"):
+            validate_kernel(kernel)
+
+    def test_declared_arrays_accepted(self):
+        kernel, *_ = nested_kernel()
+        validate_kernel(kernel)
+
+    def test_if_and_while_conditions_validated(self):
+        kernel = Kernel(
+            "k",
+            [ArrayDecl("a", 4)],
+            [
+                If(v("x").lt(3), [Load("a", 0)]),
+                While(v("x").gt(0), [Store("a", 1)], max_iterations=5),
+            ],
+        )
+        validate_kernel(kernel)
+
+
+class TestNumbering:
+    def test_every_memory_op_gets_unique_pc(self):
+        kernel, *_ = nested_kernel()
+        summary = number_kernel(kernel)
+        assert summary.static_memory_ops == 2
+        pcs = [
+            statement.pc
+            for statement in kernel.body[0].body[0].body
+        ]
+        assert len(set(pcs)) == 2
+        assert all(pc >= 0x400000 for pc in pcs)
+
+    def test_numbering_is_idempotent(self):
+        kernel, *_ = nested_kernel()
+        number_kernel(kernel)
+        first = kernel.body[0].body[0].body[0].pc
+        number_kernel(kernel)
+        assert kernel.body[0].body[0].body[0].pc == first
+
+    def test_summary_identifies_innermost_loops(self):
+        kernel, inner, outer = nested_kernel()
+        summary = number_kernel(kernel)
+        assert outer in summary.loops
+        assert inner in summary.loops
+        assert summary.innermost_loops == [inner]
+
+    def test_array_names_collected(self):
+        kernel, *_ = nested_kernel()
+        assert number_kernel(kernel).array_names == {"a"}
+
+
+class TestStructuralHelpers:
+    def test_loop_contains_loop(self):
+        _, inner, outer = nested_kernel()
+        assert loop_contains_loop(outer)
+        assert not loop_contains_loop(inner)
+
+    def test_loop_detection_inside_if(self):
+        loop = For("i", 0, 2, [])
+        wrapper = For("o", 0, 2, [If(c(1), [loop])])
+        assert loop_contains_loop(wrapper)
+
+    def test_count_memory_ops_counts_all_paths(self):
+        body = [
+            Load("a", 0),
+            If(c(1), [Store("a", 1)], [Store("a", 2), Load("a", 3)]),
+        ]
+        assert count_memory_ops(body) == 4

@@ -1,0 +1,42 @@
+"""Tests for the Figure 1 loop-runtime analysis."""
+
+import pytest
+
+from repro.passes.loopstats import loop_runtime_stats
+from repro.trace.events import BlockBegin, BlockEnd, MemoryAccess
+from repro.trace.stream import Trace
+
+from conftest import annotated_trace, make_stream_kernel
+
+
+class TestOnCraftedTrace:
+    def test_fraction_and_counts(self):
+        events = [
+            MemoryAccess(1, 0, 0, False),          # outside any block
+            BlockBegin(10, 0),
+            MemoryAccess(11, 0, 64, False),
+            MemoryAccess(12, 0, 128, True),
+            BlockEnd(20, 0),
+        ]
+        stats = loop_runtime_stats(Trace("t", events, 100))
+        assert stats.loop_instructions == 10
+        assert stats.loop_fraction == pytest.approx(0.10)
+        assert stats.total_memory_accesses == 3
+        assert stats.loop_memory_accesses == 2
+        assert stats.loop_access_fraction == pytest.approx(2 / 3)
+        assert stats.block_instances == 1
+
+    def test_empty_trace(self):
+        stats = loop_runtime_stats(Trace("t", [], 0))
+        assert stats.loop_fraction == 0.0
+        assert stats.loop_access_fraction == 0.0
+
+
+class TestOnRealKernel:
+    def test_tight_stream_kernel_is_loop_dominated(self):
+        trace = annotated_trace(make_stream_kernel(length=512))
+        stats = loop_runtime_stats(trace)
+        assert stats.block_instances == 512
+        # The kernel body is one tight loop: the loop fraction must
+        # dominate (Figure 1 reports >70% on average).
+        assert stats.loop_fraction > 0.7

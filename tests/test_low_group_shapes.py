@@ -1,0 +1,43 @@
+"""Shape checks for the low-MPKI group.
+
+The paper includes the second group of 15 benchmarks to show the CBWS
+schemes do not regress on cache-friendly code (Figure 14, bottom).
+"""
+
+import pytest
+
+from repro.harness.runner import GridRunner
+from repro.workloads import LOW_WORKLOADS
+
+SAMPLE = ["458.sjeng-ref", "mxm-linpack", "backprop", "water-spatial-native"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return GridRunner(budget_fraction=0.15)
+
+
+class TestLowGroup:
+    @pytest.mark.parametrize("workload", SAMPLE)
+    def test_hybrid_never_regresses(self, runner, workload):
+        sms = runner.run_one(workload, "sms")
+        hybrid = runner.run_one(workload, "cbws+sms")
+        assert hybrid.ipc >= sms.ipc * 0.95
+
+    @pytest.mark.parametrize("workload", SAMPLE)
+    def test_cbws_never_slows_the_machine(self, runner, workload):
+        baseline = runner.run_one(workload, "no-prefetch")
+        cbws = runner.run_one(workload, "cbws")
+        assert cbws.ipc >= baseline.ipc * 0.95
+
+    def test_group_membership_is_complete(self):
+        assert len(LOW_WORKLOADS) == 15
+        for name in SAMPLE:
+            assert name in LOW_WORKLOADS
+
+    def test_low_group_wastes_little_bandwidth(self, runner):
+        """On cache-resident code, the standalone CBWS prefetcher is
+        nearly silent after warmup — cached predictions are never
+        issued, so prefetch traffic stays a small fraction of accesses."""
+        result = runner.run_one("mxm-linpack", "cbws")
+        assert result.prefetches_issued <= 0.1 * result.demand_accesses

@@ -1,0 +1,149 @@
+"""Tests for metric aggregation: grids, speedups, perf/cost, timeliness."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.metrics.aggregate import ResultGrid, arithmetic_mean, geometric_mean
+from repro.metrics.perfcost import perf_cost, perf_cost_table
+from repro.metrics.speedup import normalized_ipc, speedup_table
+from repro.metrics.timeliness import timeliness_breakdown
+from repro.sim.results import DemandClass, SimResult
+
+
+def result(workload, prefetcher, cycles=1000.0, instructions=10_000,
+           llc=100, demand_bytes=6400, prefetch_bytes=0):
+    sim = SimResult(workload=workload, prefetcher=prefetcher)
+    sim.instructions = instructions
+    sim.cycles = cycles
+    sim.llc_misses = llc
+    sim.l1_misses = 200
+    sim.demand_bytes_read = demand_bytes
+    sim.prefetch_bytes_read = prefetch_bytes
+    return sim
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestResultGrid:
+    def test_indexing(self):
+        grid = ResultGrid([result("w1", "sms"), result("w1", "cbws")])
+        assert grid.get("w1", "sms").prefetcher == "sms"
+        assert grid.workloads == ["w1"]
+        assert grid.prefetchers == ["sms", "cbws"]
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            ResultGrid([result("w", "sms"), result("w", "sms")])
+
+    def test_missing_cell_raises(self):
+        grid = ResultGrid([result("w1", "sms")])
+        with pytest.raises(ConfigError, match="no result"):
+            grid.get("w1", "cbws")
+        assert not grid.has("w1", "cbws")
+
+    def test_metric_average_over_subset(self):
+        grid = ResultGrid([
+            result("w1", "sms", llc=100),
+            result("w2", "sms", llc=300),
+        ])
+        assert grid.metric_average("sms", lambda r: r.mpki) == pytest.approx(
+            (10.0 + 30.0) / 2
+        )
+        assert grid.metric_average(
+            "sms", lambda r: r.mpki, workloads=["w2"]
+        ) == pytest.approx(30.0)
+
+    def test_metric_row(self):
+        grid = ResultGrid([result("w1", "sms"), result("w1", "cbws", llc=50)])
+        row = grid.metric_row("w1", lambda r: r.mpki)
+        assert row["sms"] == pytest.approx(10.0)
+        assert row["cbws"] == pytest.approx(5.0)
+
+
+class TestSpeedup:
+    def test_normalized_ipc(self):
+        grid = ResultGrid([
+            result("w", "sms", cycles=1000.0),
+            result("w", "cbws+sms", cycles=800.0),
+        ])
+        assert normalized_ipc(grid, "w", "cbws+sms") == pytest.approx(1.25)
+        assert normalized_ipc(grid, "w", "sms") == pytest.approx(1.0)
+
+    def test_speedup_table_includes_geomean_average(self):
+        grid = ResultGrid([
+            result("w1", "sms", cycles=1000.0),
+            result("w1", "cbws+sms", cycles=500.0),
+            result("w2", "sms", cycles=1000.0),
+            result("w2", "cbws+sms", cycles=2000.0),
+        ])
+        table = speedup_table(grid)
+        assert table["w1"]["cbws+sms"] == pytest.approx(2.0)
+        assert table["w2"]["cbws+sms"] == pytest.approx(0.5)
+        assert table["average"]["cbws+sms"] == pytest.approx(1.0)
+
+    def test_degenerate_baseline_rejected(self):
+        grid = ResultGrid([
+            result("w", "sms", cycles=0.0),
+            result("w", "cbws", cycles=100.0),
+        ])
+        with pytest.raises(ConfigError):
+            normalized_ipc(grid, "w", "cbws")
+
+
+class TestPerfCost:
+    def test_baseline_scores_one(self):
+        grid = ResultGrid([
+            result("w", "no-prefetch"),
+            result("w", "sms", cycles=500.0, prefetch_bytes=6400),
+        ])
+        assert perf_cost(grid, "w", "no-prefetch") == pytest.approx(1.0)
+        # SMS: double the IPC at double the bytes -> ratio 1.0.
+        assert perf_cost(grid, "w", "sms") == pytest.approx(1.0)
+
+    def test_wasted_bytes_lower_the_score(self):
+        grid = ResultGrid([
+            result("w", "no-prefetch"),
+            result("w", "wasteful", cycles=1000.0, prefetch_bytes=6400),
+        ])
+        assert perf_cost(grid, "w", "wasteful") == pytest.approx(0.5)
+
+    def test_table_has_average(self):
+        grid = ResultGrid([
+            result("w", "no-prefetch"),
+            result("w", "sms", cycles=500.0),
+        ])
+        table = perf_cost_table(grid)
+        assert table["average"]["sms"] == pytest.approx(2.0)
+
+
+class TestTimeliness:
+    def test_breakdown_fractions(self):
+        sim = result("w", "sms")
+        sim.classes[DemandClass.TIMELY] = 100
+        sim.classes[DemandClass.SHORTER_WAITING] = 40
+        sim.classes[DemandClass.MISSING] = 60
+        sim.wrong_prefetches = 20
+        breakdown = timeliness_breakdown(sim)
+        assert breakdown.timely == pytest.approx(0.5)
+        assert breakdown.shorter_waiting == pytest.approx(0.2)
+        assert breakdown.missing == pytest.approx(0.3)
+        assert breakdown.wrong == pytest.approx(0.1)
+        assert breakdown.covered == pytest.approx(0.7)
+
+    def test_zero_misses_yield_zero_fractions(self):
+        sim = SimResult(workload="w", prefetcher="p")
+        breakdown = timeliness_breakdown(sim)
+        assert breakdown.timely == 0.0
+        assert breakdown.wrong == 0.0

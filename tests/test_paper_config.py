@@ -1,0 +1,57 @@
+"""Smoke tests on the full Table II machine (PAPER_CONFIG).
+
+The reduced configuration drives the experiments; these tests confirm
+the exact paper machine is simulatable too, and that the structural
+relations between the two scales hold.
+"""
+
+import pytest
+
+from repro.harness.registry import make_prefetcher
+from repro.sim.config import PAPER_CONFIG, REDUCED_CONFIG
+from repro.sim.engine import simulate
+from repro.workloads import build_trace, get_workload
+
+from conftest import annotated_trace, make_strided_kernel
+
+
+class TestPaperMachine:
+    def test_strided_kernel_runs_on_paper_machine(self):
+        trace = annotated_trace(
+            make_strided_kernel(iterations=1200, stride_elements=512)
+        )
+        baseline = simulate(PAPER_CONFIG, make_prefetcher("no-prefetch"), trace)
+        cbws = simulate(PAPER_CONFIG, make_prefetcher("cbws"), trace)
+        assert baseline.cycles > 0
+        assert cbws.ipc > baseline.ipc
+
+    def test_bigger_l2_never_hurts(self):
+        """The paper machine's 2 MB L2 can only reduce misses relative
+        to the reduced 128 KB L2 on the same trace."""
+        trace = build_trace(get_workload("nw"), max_accesses=6000)
+        reduced = simulate(
+            REDUCED_CONFIG, make_prefetcher("no-prefetch"), trace
+        )
+        paper = simulate(PAPER_CONFIG, make_prefetcher("no-prefetch"), trace)
+        assert paper.llc_misses <= reduced.llc_misses
+        assert paper.ipc >= reduced.ipc
+
+    def test_reduced_footprints_fit_paper_l2(self):
+        """At scale 1.0 the workloads are sized for the reduced L2, so
+        the paper machine mostly absorbs them — the reason experiments
+        pair PAPER_CONFIG with larger workload scales."""
+        trace = build_trace(get_workload("stencil-default"),
+                            max_accesses=6000)
+        paper = simulate(PAPER_CONFIG, make_prefetcher("no-prefetch"), trace)
+        reduced = simulate(
+            REDUCED_CONFIG, make_prefetcher("no-prefetch"), trace
+        )
+        assert paper.mpki < reduced.mpki
+
+    @pytest.mark.parametrize("prefetcher", ["sms", "cbws+sms"])
+    def test_prefetchers_run_at_paper_scale(self, prefetcher):
+        trace = build_trace(get_workload("sgemm-medium"), scale=2.0,
+                            max_accesses=8000)
+        result = simulate(PAPER_CONFIG, make_prefetcher(prefetcher), trace)
+        assert result.cycles > 0
+        assert result.demand_accesses == 8000

@@ -1,0 +1,166 @@
+"""Tests for Algorithm 1 — the CBWS differential predictor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predictor import CbwsConfig, CbwsPredictor
+
+
+def run_block(predictor, lines, block_id=0):
+    predictor.block_begin(block_id)
+    for line in lines:
+        predictor.memory_access(line)
+    return predictor.block_end()
+
+
+def stencil_block(n, stride=1024):
+    """The Figure 3 pattern: constant lines plus strided streams."""
+    return [80, 81, 6515 + stride * n, 4467 + stride * n, 5499 + stride * n]
+
+
+class TestConfig:
+    def test_defaults_match_table2(self):
+        config = CbwsConfig()
+        assert config.max_vector_members == 16
+        assert config.max_step == 4
+        assert config.table_entries == 16
+        assert config.stride_bits == 16
+        assert config.hash_bits == 12
+
+    def test_invalid_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            CbwsConfig(max_step=0)
+        with pytest.raises(ConfigError):
+            CbwsConfig(predict_steps=5, max_step=4)
+        with pytest.raises(ConfigError):
+            CbwsConfig(max_vector_members=0)
+
+
+class TestWarmup:
+    def test_first_blocks_predict_nothing(self):
+        predictor = CbwsPredictor()
+        assert run_block(predictor, stencil_block(0)) == []
+        # The second block trains but its history has no repeat yet.
+        assert run_block(predictor, stencil_block(1)) == []
+
+    def test_constant_pattern_predicts_after_warmup(self):
+        predictor = CbwsPredictor()
+        predictions = []
+        for n in range(8):
+            predictions = run_block(predictor, stencil_block(n))
+        assert predictions, "steady pattern must eventually predict"
+
+    def test_steady_predictions_are_future_working_sets(self):
+        predictor = CbwsPredictor()
+        for n in range(10):
+            predictions = run_block(predictor, stencil_block(n))
+        future = set()
+        for k in range(10, 15):
+            future.update(stencil_block(k))
+        assert set(predictions) <= future
+        # The 1-step prediction (the very next block) must be covered.
+        assert set(stencil_block(10)) <= set(predictions) | set(stencil_block(9))
+
+
+class TestStatistics:
+    def test_blocks_counted(self):
+        predictor = CbwsPredictor()
+        for n in range(5):
+            run_block(predictor, stencil_block(n))
+        assert predictor.stats.blocks_completed == 5
+
+    def test_overflow_counted(self):
+        predictor = CbwsPredictor(CbwsConfig(max_vector_members=4))
+        run_block(predictor, list(range(100, 110)))
+        assert predictor.stats.blocks_overflowed == 1
+        assert predictor.last_block_overflowed
+
+    def test_hit_rate_grows_on_regular_stream(self):
+        predictor = CbwsPredictor()
+        for n in range(20):
+            run_block(predictor, stencil_block(n))
+        assert predictor.stats.hit_rate > 0.3
+
+    def test_random_blocks_rarely_hit(self):
+        import random
+
+        rng = random.Random(42)
+        predictor = CbwsPredictor()
+        for _ in range(20):
+            run_block(predictor, [rng.randrange(1 << 30) for _ in range(5)])
+        assert predictor.stats.hit_rate < 0.2
+
+
+class TestBlockIdHandling:
+    def test_block_id_change_flushes_history(self):
+        predictor = CbwsPredictor()
+        for n in range(8):
+            run_block(predictor, stencil_block(n), block_id=0)
+        # Switching to a different static loop must not predict from the
+        # old loop's history.
+        predictions = run_block(predictor, [1, 2, 3], block_id=1)
+        assert len(predictor.last_blocks) == 1  # only the new block
+
+    def test_same_block_id_keeps_history(self):
+        predictor = CbwsPredictor()
+        run_block(predictor, stencil_block(0))
+        run_block(predictor, stencil_block(1))
+        assert len(predictor.last_blocks) == 2
+
+
+class TestDivergence:
+    def test_shrinking_blocks_align_prefix(self):
+        predictor = CbwsPredictor()
+        run_block(predictor, [100, 200, 300])
+        run_block(predictor, [101, 201])  # shorter: branch divergence
+        # Differentials were computed over the aligned prefix only; no
+        # crash, and history contains both CBWSs.
+        assert len(predictor.last_blocks) == 2
+
+    def test_empty_block_is_harmless(self):
+        predictor = CbwsPredictor()
+        run_block(predictor, [])
+        run_block(predictor, [5])
+        assert predictor.stats.blocks_completed == 2
+
+
+class TestStrideTruncation:
+    def test_large_strides_wrap_to_16_bits(self):
+        """Strides beyond 16 bits truncate, as in hardware — the
+        prediction is then wrong but bounded."""
+        predictor = CbwsPredictor()
+        huge = 1 << 20
+        for n in range(6):
+            predictions = run_block(predictor, [100 + huge * n])
+        for line in predictions:
+            assert 0 <= line < (1 << 32)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        predictor = CbwsPredictor()
+        for n in range(8):
+            run_block(predictor, stencil_block(n))
+        predictor.reset()
+        assert predictor.stats.blocks_completed == 0
+        assert len(predictor.last_blocks) == 0
+        assert run_block(predictor, stencil_block(0)) == []
+
+
+class TestRobustnessProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1 << 34), max_size=20),
+            max_size=30,
+        )
+    )
+    def test_never_crashes_and_respects_width(self, blocks):
+        predictor = CbwsPredictor()
+        for block in blocks:
+            predictions = run_block(predictor, block)
+            for line in predictions:
+                assert 0 <= line < (1 << 32)
+            assert len(predictor.last_blocks) <= 4

@@ -1,0 +1,54 @@
+"""Tests for the deterministic RNG wrapper."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(8)] != [
+            b.randint(0, 10**9) for _ in range(8)
+        ]
+
+    def test_seed_is_recorded(self):
+        assert DeterministicRng(7).seed == 7
+
+
+class TestOperations:
+    def test_index_range(self):
+        rng = DeterministicRng(0)
+        for _ in range(100):
+            assert 0 <= rng.index(5) < 5
+
+    def test_index_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).index(0)
+
+    def test_choice_from_singleton(self):
+        assert DeterministicRng(0).choice(["only"]) == "only"
+
+    def test_shuffled_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(50))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(50))  # input untouched
+
+    def test_fork_is_stable_and_independent(self):
+        base = DeterministicRng(5)
+        fork_a1 = base.fork(1)
+        fork_a2 = DeterministicRng(5).fork(1)
+        fork_b = base.fork(2)
+        seq = [fork_a1.randint(0, 1000) for _ in range(5)]
+        assert seq == [fork_a2.randint(0, 1000) for _ in range(5)]
+        assert seq != [fork_b.randint(0, 1000) for _ in range(5)]

@@ -1,0 +1,59 @@
+"""Tests for the simulation configuration (Table II)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.config import (
+    PAPER_CONFIG,
+    REDUCED_CONFIG,
+    CoreConfig,
+    PrefetchPathConfig,
+)
+
+
+class TestPaperConfig:
+    def test_core_matches_table2(self):
+        core = PAPER_CONFIG.core
+        assert core.width == 4
+        assert core.rob_entries == 128
+        assert core.l1_latency == 2
+        assert core.l2_latency == 30
+        assert core.memory_latency == 300
+
+    def test_caches_match_table2(self):
+        hierarchy = PAPER_CONFIG.hierarchy
+        assert hierarchy.l1.size_bytes == 32 * 1024
+        assert hierarchy.l1.associativity == 4
+        assert hierarchy.l1.mshrs == 4
+        assert hierarchy.l2.size_bytes == 2 * 1024 * 1024
+        assert hierarchy.l2.associativity == 8
+        assert hierarchy.l2.mshrs == 32
+        assert hierarchy.line_size == 64
+
+    def test_reduced_preserves_structure(self):
+        assert REDUCED_CONFIG.core == PAPER_CONFIG.core
+        assert (
+            REDUCED_CONFIG.hierarchy.l1.associativity
+            == PAPER_CONFIG.hierarchy.l1.associativity
+        )
+        assert REDUCED_CONFIG.hierarchy.l1.size_bytes < (
+            PAPER_CONFIG.hierarchy.l1.size_bytes
+        )
+
+
+class TestValidation:
+    def test_non_monotone_latencies_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(l1_latency=10, l2_latency=5)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(width=0)
+
+    def test_prefetch_path_validation(self):
+        with pytest.raises(ConfigError):
+            PrefetchPathConfig(queue_capacity=0)
+        with pytest.raises(ConfigError):
+            PrefetchPathConfig(issue_interval=0)
+        with pytest.raises(ConfigError):
+            PrefetchPathConfig(max_in_flight=0)

@@ -1,0 +1,51 @@
+"""Tests for trace event types."""
+
+from repro.trace.events import (
+    BLOCK_BEGIN,
+    BLOCK_END,
+    MEMORY_ACCESS,
+    BlockBegin,
+    BlockEnd,
+    MemoryAccess,
+)
+
+
+class TestMemoryAccess:
+    def test_kind(self):
+        assert MemoryAccess(0, 0x400000, 128, False).kind == MEMORY_ACCESS
+
+    def test_line_conversion(self):
+        assert MemoryAccess(0, 0, 0, False).line == 0
+        assert MemoryAccess(0, 0, 63, False).line == 0
+        assert MemoryAccess(0, 0, 64, False).line == 1
+        assert MemoryAccess(0, 0, 8192, False).line == 128
+
+    def test_equality_and_hash(self):
+        a = MemoryAccess(5, 0x10, 256, True)
+        b = MemoryAccess(5, 0x10, 256, True)
+        c = MemoryAccess(5, 0x10, 256, False)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_distinguishes_loads_and_stores(self):
+        assert "LD" in repr(MemoryAccess(0, 0, 0, False))
+        assert "ST" in repr(MemoryAccess(0, 0, 0, True))
+
+
+class TestBlockMarkers:
+    def test_kinds(self):
+        assert BlockBegin(0, 1).kind == BLOCK_BEGIN
+        assert BlockEnd(0, 1).kind == BLOCK_END
+
+    def test_begin_and_end_are_not_equal(self):
+        assert BlockBegin(3, 7) != BlockEnd(3, 7)
+
+    def test_equality_within_type(self):
+        assert BlockBegin(3, 7) == BlockBegin(3, 7)
+        assert BlockBegin(3, 7) != BlockBegin(3, 8)
+        assert BlockBegin(3, 7) != BlockBegin(4, 7)
+
+    def test_hashable(self):
+        markers = {BlockBegin(0, 1), BlockEnd(0, 1), BlockBegin(0, 1)}
+        assert len(markers) == 2

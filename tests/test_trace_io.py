@@ -1,0 +1,121 @@
+"""Round-trip and error-path tests for the binary trace format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import TraceError
+from repro.trace.events import BlockBegin, BlockEnd, MemoryAccess
+from repro.trace.io import (
+    read_trace,
+    trace_from_bytes,
+    trace_to_bytes,
+    write_trace,
+)
+from repro.trace.stream import Trace
+
+
+def simple_trace():
+    return Trace(
+        "example",
+        [
+            BlockBegin(0, 3),
+            MemoryAccess(1, 0x400010, 4096, False),
+            MemoryAccess(2, 0x400020, 8192, True),
+            BlockEnd(3, 3),
+        ],
+        instructions=42,
+    )
+
+
+class TestRoundTrip:
+    def test_in_memory_round_trip(self):
+        original = simple_trace()
+        restored = trace_from_bytes(trace_to_bytes(original))
+        assert restored.name == original.name
+        assert restored.instructions == original.instructions
+        assert restored.events == original.events
+
+    def test_file_round_trip(self, tmp_path):
+        original = simple_trace()
+        path = tmp_path / "trace.bin"
+        write_trace(original, path)
+        restored = read_trace(path)
+        assert restored.events == original.events
+
+    def test_empty_trace_round_trip(self):
+        restored = trace_from_bytes(trace_to_bytes(Trace("empty", [], 0)))
+        assert restored.events == []
+        assert restored.name == "empty"
+
+    def test_unicode_name_round_trip(self):
+        trace = Trace("bench-αβ", [], 5)
+        assert trace_from_bytes(trace_to_bytes(trace)).name == trace.name
+
+
+# Strategy for arbitrary well-formed event streams.
+@st.composite
+def traces(draw):
+    count = draw(st.integers(min_value=0, max_value=40))
+    events = []
+    icount = 0
+    open_block = None
+    for _ in range(count):
+        icount += draw(st.integers(min_value=0, max_value=1000))
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            events.append(
+                MemoryAccess(
+                    icount,
+                    draw(st.integers(min_value=0, max_value=2**48 - 1)),
+                    draw(st.integers(min_value=0, max_value=2**40)),
+                    draw(st.booleans()),
+                )
+            )
+        elif kind == 1 and open_block is None:
+            open_block = draw(st.integers(min_value=0, max_value=2**20))
+            events.append(BlockBegin(icount, open_block))
+        elif kind == 2 and open_block is not None:
+            events.append(BlockEnd(icount, open_block))
+            open_block = None
+    if open_block is not None:
+        events.append(BlockEnd(icount, open_block))
+    return Trace("prop", events, icount + draw(st.integers(0, 100)))
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50)
+    @given(traces())
+    def test_arbitrary_traces_survive(self, trace):
+        restored = trace_from_bytes(trace_to_bytes(trace))
+        assert restored.events == trace.events
+        assert restored.instructions == trace.instructions
+
+
+class TestErrorPaths:
+    def test_bad_magic_rejected(self):
+        data = trace_to_bytes(simple_trace())
+        with pytest.raises(TraceError, match="magic"):
+            trace_from_bytes(b"XXXX" + data[4:])
+
+    def test_bad_version_rejected(self):
+        data = bytearray(trace_to_bytes(simple_trace()))
+        data[4] = 0xEE
+        with pytest.raises(TraceError, match="version"):
+            trace_from_bytes(bytes(data))
+
+    def test_truncated_stream_rejected(self):
+        data = trace_to_bytes(simple_trace())
+        with pytest.raises(TraceError):
+            trace_from_bytes(data[:-4])
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_bytes(b"CB")
+
+    def test_unknown_tag_rejected(self):
+        data = bytearray(trace_to_bytes(simple_trace()))
+        # First record tag sits right after header + name + counts.
+        offset = 8 + len("example") + 16
+        data[offset] = 99
+        with pytest.raises(TraceError, match="tag"):
+            trace_from_bytes(bytes(data))

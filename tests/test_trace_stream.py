@@ -1,0 +1,106 @@
+"""Tests for the Trace container: validation and statistics."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.events import BlockBegin, BlockEnd, MemoryAccess
+from repro.trace.stream import Trace
+
+
+def mem(icount, addr, write=False, pc=0x400000):
+    return MemoryAccess(icount, pc, addr, write)
+
+
+class TestConstruction:
+    def test_instructions_below_last_event_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("t", [mem(100, 0)], instructions=50)
+
+    def test_empty_trace_is_fine(self):
+        trace = Trace("t", [], instructions=0)
+        trace.validate()
+        assert len(trace) == 0
+
+    def test_indexing_and_iteration(self):
+        events = [mem(1, 0), mem(2, 64)]
+        trace = Trace("t", events, 10)
+        assert trace[0] == events[0]
+        assert list(trace) == events
+        assert list(trace.memory_events()) == events
+
+
+class TestValidation:
+    def test_decreasing_icount_rejected(self):
+        trace = Trace("t", [mem(5, 0)], 10)
+        trace.events.append(mem(3, 64))
+        with pytest.raises(TraceError, match="decreases"):
+            trace.validate()
+
+    def test_nested_blocks_rejected(self):
+        trace = Trace("t", [BlockBegin(0, 1), BlockBegin(1, 2)], 10)
+        with pytest.raises(TraceError, match="nested"):
+            trace.validate()
+
+    def test_end_without_begin_rejected(self):
+        trace = Trace("t", [BlockEnd(0, 1)], 10)
+        with pytest.raises(TraceError, match="without"):
+            trace.validate()
+
+    def test_mismatched_block_id_rejected(self):
+        trace = Trace("t", [BlockBegin(0, 1), BlockEnd(1, 2)], 10)
+        with pytest.raises(TraceError, match="does not match"):
+            trace.validate()
+
+    def test_unclosed_block_rejected(self):
+        trace = Trace("t", [BlockBegin(0, 1), mem(1, 0)], 10)
+        with pytest.raises(TraceError, match="never closed"):
+            trace.validate()
+
+    def test_wellformed_blocks_pass(self):
+        trace = Trace(
+            "t",
+            [
+                BlockBegin(0, 1), mem(1, 0), BlockEnd(2, 1),
+                BlockBegin(3, 2), mem(4, 64), BlockEnd(5, 2),
+            ],
+            6,
+        )
+        trace.validate()
+
+
+class TestStats:
+    def test_counts(self):
+        trace = Trace(
+            "t",
+            [
+                BlockBegin(0, 0),
+                mem(1, 0), mem(2, 64, write=True),
+                BlockEnd(4, 0),
+                mem(6, 128),
+            ],
+            20,
+        )
+        stats = trace.stats()
+        assert stats.memory_accesses == 3
+        assert stats.loads == 2
+        assert stats.stores == 1
+        assert stats.blocks == 1
+        assert stats.block_instructions == 4
+        assert stats.distinct_block_ids == 1
+        assert stats.loop_fraction == pytest.approx(0.2)
+
+    def test_empty_trace_loop_fraction_zero(self):
+        assert Trace("t", [], 0).stats().loop_fraction == 0.0
+
+    def test_distinct_block_ids(self):
+        events = []
+        icount = 0
+        for block_id in (0, 1, 0):
+            events.append(BlockBegin(icount, block_id))
+            icount += 1
+            events.append(mem(icount, 0))
+            icount += 1
+            events.append(BlockEnd(icount, block_id))
+        trace = Trace("t", events, icount)
+        assert trace.stats().distinct_block_ids == 2
+        assert trace.stats().blocks == 3

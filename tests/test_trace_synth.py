@@ -1,0 +1,75 @@
+"""Tests for the synthetic address space allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.constants import DEFAULT_LINE_SIZE
+from repro.common.errors import WorkloadError
+from repro.trace.synth import AddressSpace
+
+
+class TestAllocation:
+    def test_line_alignment(self):
+        space = AddressSpace()
+        alloc = space.allocate("a", 100, 8)
+        assert alloc.base % DEFAULT_LINE_SIZE == 0
+
+    def test_null_page_never_allocated(self):
+        space = AddressSpace()
+        assert space.allocate("a", 1, 1).base >= 4096
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 10)
+        with pytest.raises(WorkloadError, match="twice"):
+            space.allocate("a", 10)
+
+    @pytest.mark.parametrize("length,size", [(0, 8), (-1, 8), (10, 0)])
+    def test_invalid_geometry_rejected(self, length, size):
+        with pytest.raises(WorkloadError):
+            AddressSpace().allocate("a", length, size)
+
+    def test_lookup(self):
+        space = AddressSpace()
+        alloc = space.allocate("a", 10)
+        assert space.lookup("a") is alloc
+        with pytest.raises(WorkloadError, match="unknown"):
+            space.lookup("nope")
+
+    def test_address_of_bounds(self):
+        alloc = AddressSpace().allocate("a", 4, 8)
+        assert alloc.address_of(0) == alloc.base
+        assert alloc.address_of(3) == alloc.base + 24
+        with pytest.raises(WorkloadError):
+            alloc.address_of(4)
+        with pytest.raises(WorkloadError):
+            alloc.address_of(-1)
+
+
+class TestSeparationProperty:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=500),
+                st.sampled_from([1, 2, 4, 8, 16]),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_allocations_never_share_lines(self, shapes):
+        space = AddressSpace()
+        allocations = [
+            space.allocate(f"arr{i}", length, size)
+            for i, (length, size) in enumerate(shapes)
+        ]
+        line_owner: dict[int, str] = {}
+        for alloc in allocations:
+            first = alloc.base // DEFAULT_LINE_SIZE
+            last = (alloc.base + alloc.size_bytes - 1) // DEFAULT_LINE_SIZE
+            for line in range(first, last + 1):
+                assert line not in line_owner, (
+                    f"line {line} shared by {line_owner[line]} and {alloc.name}"
+                )
+                line_owner[line] = alloc.name

@@ -1,0 +1,106 @@
+"""Tests over the 30-benchmark workload suite."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.ir.validate import number_kernel
+from repro.passes.annotate import annotate_tight_loops
+from repro.passes.loopstats import loop_runtime_stats
+from repro.workloads import (
+    ALL_WORKLOADS,
+    LOW_WORKLOADS,
+    MI_WORKLOADS,
+    REGISTRY,
+    build_trace,
+    get_workload,
+)
+
+
+class TestRegistry:
+    def test_thirty_benchmarks(self):
+        assert len(MI_WORKLOADS) == 15
+        assert len(LOW_WORKLOADS) == 15
+        assert len(REGISTRY) == 30
+        assert set(ALL_WORKLOADS) == set(REGISTRY)
+
+    def test_groups_are_disjoint(self):
+        assert not set(MI_WORKLOADS) & set(LOW_WORKLOADS)
+
+    def test_group_labels_consistent(self):
+        for name in MI_WORKLOADS:
+            assert REGISTRY[name].group == "mi"
+        for name in LOW_WORKLOADS:
+            assert REGISTRY[name].group == "low"
+
+    def test_table4_members_present(self):
+        for name in (
+            "429.mcf-ref", "450.soplex-ref", "462.libquantum-ref",
+            "433.milc-su3imp", "401.bzip2-source", "mri-q-large",
+            "histo-large", "stencil-default", "sgemm-medium", "nw",
+            "lbm-long", "lu-ncb-simlarge", "fft-simlarge",
+            "radix-simlarge", "streamcluster-simlarge",
+        ):
+            assert name in MI_WORKLOADS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            get_workload("nonexistent")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nw").kernel(scale=0)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestEveryWorkload:
+    def test_kernel_builds_and_validates(self, name):
+        kernel = get_workload(name).kernel()
+        summary = number_kernel(kernel)
+        assert summary.static_memory_ops > 0
+        assert summary.innermost_loops, f"{name} has no innermost loop"
+
+    def test_annotation_finds_blocks(self, name):
+        kernel = get_workload(name).kernel()
+        report = annotate_tight_loops(kernel)
+        assert report.block_count > 0, f"{name}: nothing annotated"
+
+    def test_trace_is_wellformed_and_loop_dominated(self, name):
+        trace = build_trace(get_workload(name), max_accesses=1500)
+        trace.validate()
+        stats = loop_runtime_stats(trace)
+        assert stats.block_instances > 0
+        assert stats.loop_fraction > 0.4, (
+            f"{name}: loop fraction {stats.loop_fraction:.2f} too low for "
+            "a tight-loop benchmark"
+        )
+
+    def test_trace_is_deterministic(self, name):
+        spec = get_workload(name)
+        trace_a = build_trace(spec, max_accesses=500, seed=3)
+        trace_b = build_trace(spec, max_accesses=500, seed=3)
+        assert [e.icount for e in trace_a.events] == [
+            e.icount for e in trace_b.events
+        ]
+        assert [getattr(e, "address", None) for e in trace_a.events] == [
+            getattr(e, "address", None) for e in trace_b.events
+        ]
+
+
+class TestGroupCharacter:
+    """The two groups must differ in memory intensity, as in the paper."""
+
+    def test_mi_group_misses_more(self, tiny_runner):
+        from repro.harness.runner import GridRunner
+        from repro.sim.engine import simulate
+        from repro.sim.config import REDUCED_CONFIG
+        from repro.prefetchers.none import NoPrefetcher
+
+        def mpki_of(name):
+            trace = tiny_runner.trace(name)
+            return simulate(REDUCED_CONFIG, NoPrefetcher(), trace).mpki
+
+        mi_sample = ["stencil-default", "462.libquantum-ref", "sgemm-medium"]
+        low_sample = ["mxm-linpack", "458.sjeng-ref", "backprop"]
+        mi_average = sum(mpki_of(name) for name in mi_sample) / 3
+        low_average = sum(mpki_of(name) for name in low_sample) / 3
+        assert mi_average > 3 * low_average
