@@ -6,7 +6,12 @@ and grid cells are computed once, and each bench writes its rendered
 rows to ``results/<target>.txt`` next to this directory.
 
 The trace budget can be scaled with ``REPRO_BENCH_BUDGET`` (default 1.0,
-the full reduced-scale budget; use e.g. 0.2 for a quick pass).
+the full reduced-scale budget; use e.g. 0.2 for a quick pass).  Grid
+sweeps run through the :mod:`repro.exec` worker pool: ``REPRO_BENCH_JOBS``
+sets the worker count (default: all cores; 1 = in-process) and finished
+cells persist in a result cache under ``results/.exec-cache`` (override
+with ``REPRO_BENCH_CACHE``), so re-running a bench with unchanged
+parameters replays cached results instead of simulating.
 """
 
 from __future__ import annotations
@@ -24,7 +29,12 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 @pytest.fixture(scope="session")
 def runner() -> GridRunner:
     budget = float(os.environ.get("REPRO_BENCH_BUDGET", "1.0"))
-    return GridRunner(budget_fraction=budget)
+    jobs_env = os.environ.get("REPRO_BENCH_JOBS", "")
+    jobs = int(jobs_env) if jobs_env else None  # None = all cores
+    cache_dir = os.environ.get(
+        "REPRO_BENCH_CACHE", str(RESULTS_DIR / ".exec-cache")
+    )
+    return GridRunner(budget_fraction=budget, jobs=jobs, cache_dir=cache_dir)
 
 
 @pytest.fixture(scope="session")

@@ -5,15 +5,25 @@ Everything the examples and benches do, driveable from a shell::
     python -m repro list workloads
     python -m repro list prefetchers
     python -m repro run --workload stencil-default --prefetcher cbws+sms
-    python -m repro figure 14 --budget-fraction 0.3
+    python -m repro figure 14 --budget-fraction 0.3 --jobs 4
     python -m repro table 3
     python -m repro trace --workload nw --out nw.trace
     python -m repro inspect nw.trace
+    python -m repro exec-stats
+
+Grid commands run through :mod:`repro.exec`: ``--jobs N`` simulates N
+cells concurrently on a worker pool (``--jobs 0``, the default, uses
+every core; ``--jobs 1`` runs in-process), and finished cells land in a
+content-addressed result cache under ``--cache-dir`` (default
+``.repro-cache``, or ``$REPRO_CACHE_DIR``) so re-running a figure with
+unchanged inputs is a pure cache read.  ``--no-result-cache`` disables
+the replay; ``exec-stats`` reports on the last recorded run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -23,6 +33,18 @@ from repro.harness.runner import GridRunner
 from repro.sim.results import DemandClass
 from repro.trace.io import read_trace, write_trace
 from repro.workloads import ALL_WORKLOADS, REGISTRY, build_trace, get_workload
+
+
+def _default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=_default_cache_dir(), metavar="DIR",
+        help="trace + result cache directory (default .repro-cache, "
+             "or $REPRO_CACHE_DIR)",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -37,6 +59,16 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=0, help="workload data seed (default 0)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for grid execution "
+             "(0 = all cores, 1 = in-process; default 0)",
+    )
+    _add_cache_arguments(parser)
+    parser.add_argument(
+        "--no-result-cache", action="store_true",
+        help="do not reuse or store cached simulation results",
+    )
 
 
 def _runner(args: argparse.Namespace) -> GridRunner:
@@ -44,6 +76,9 @@ def _runner(args: argparse.Namespace) -> GridRunner:
         scale=args.scale,
         budget_fraction=args.budget_fraction,
         seed=args.seed,
+        cache_dir=args.cache_dir,
+        jobs=None if args.jobs == 0 else args.jobs,
+        result_cache=False if args.no_result_cache else None,
     )
 
 
@@ -143,6 +178,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exec_stats(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.common.errors import ExecError
+    from repro.exec.telemetry import load_stats
+    from repro.harness.report import format_exec_stats
+
+    path = Path(args.cache_dir) / "exec-stats.json"
+    if not path.exists():
+        raise ExecError(
+            f"no recorded execution statistics at {path}; run a figure or "
+            "grid first (statistics persist next to the cache)"
+        )
+    document = load_stats(path)
+    print(format_exec_stats(document.get("summary", {})))
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     trace = read_trace(args.path)
     trace.validate()
@@ -214,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="validate and summarize a saved trace")
     inspect_parser.add_argument("path")
     inspect_parser.set_defaults(handler=_cmd_inspect)
+
+    stats_parser = subparsers.add_parser(
+        "exec-stats",
+        help="show telemetry of the last recorded grid execution")
+    _add_cache_arguments(stats_parser)
+    stats_parser.set_defaults(handler=_cmd_exec_stats)
 
     return parser
 

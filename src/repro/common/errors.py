@@ -17,6 +17,10 @@ class TraceError(ReproError):
     """A trace is malformed (bad ordering, unknown event, truncated file)."""
 
 
+class ExecError(ReproError):
+    """Grid execution failed (quarantined tasks, broken pool, bad stats)."""
+
+
 class ValidationError(ReproError):
     """An IR program failed structural validation."""
 

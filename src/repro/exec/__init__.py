@@ -1,0 +1,52 @@
+"""Parallel grid execution engine.
+
+``repro.exec`` turns a (workload x prefetcher) evaluation grid into an
+explicit task DAG — one trace-build task per workload fanning out into
+per-prefetcher simulation tasks — and executes it on a multiprocessing
+worker pool with a content-addressed on-disk result cache, per-task
+timeout/retry, and worker-crash recovery.
+
+Layering: the engine sits *below* :class:`repro.harness.runner.GridRunner`
+(which delegates to it for ``jobs != 1`` or when a result cache is
+configured) and *above* ``repro.sim`` / ``repro.trace`` / ``repro.workloads``
+(whose artifacts it schedules).  It never imports the harness at module
+scope, so the harness can import it freely.
+
+============== ==========================================================
+``keys``       stable content-addressed hashing of task inputs
+``plan``       the task DAG (trace nodes fanning into sim nodes)
+``cache``      on-disk result cache keyed by ``keys.sim_key``
+``pool``       worker-side task execution + pool lifecycle
+``scheduler``  DAG orchestration, retries, quarantine, timeouts
+``telemetry``  counters, per-task wall times, ETA, persistence
+============== ==========================================================
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.keys import (
+    CODE_VERSION,
+    sim_key,
+    stable_hash,
+    trace_filename,
+    trace_key,
+)
+from repro.exec.plan import GridPlan, SimNode, TraceNode
+from repro.exec.pool import InjectSpec
+from repro.exec.scheduler import ExecOptions, execute_grid
+from repro.exec.telemetry import ExecTelemetry
+
+__all__ = [
+    "CODE_VERSION",
+    "ExecOptions",
+    "ExecTelemetry",
+    "GridPlan",
+    "InjectSpec",
+    "ResultCache",
+    "SimNode",
+    "TraceNode",
+    "execute_grid",
+    "sim_key",
+    "stable_hash",
+    "trace_filename",
+    "trace_key",
+]

@@ -1,0 +1,72 @@
+"""Content-addressed on-disk result cache.
+
+Simulation results are tiny (a few hundred bytes of counters) while the
+work producing them is expensive, so the cache stores one JSON document
+per :func:`repro.exec.keys.sim_key` under a two-level fan-out directory
+(``<root>/<key[:2]>/<key>.json``).  Keys encode every input that can
+change the result — workload spec parameters, SimConfig fields,
+prefetcher name, schema and code versions — so a hit is always safe to
+replay and a re-run of any figure with unchanged inputs is a pure cache
+read.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a half-written entry; unreadable or
+schema-mismatched entries are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.sim.results import SimResult
+
+
+class ResultCache:
+    """A directory of content-addressed simulation results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        """The cached result, or None on a miss.
+
+        A corrupt or stale-schema entry counts as a miss and is deleted
+        so the slot is rebuilt cleanly.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            return SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Store one result atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"key": key, "result": result.to_dict()}
+        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temporary.write_text(json.dumps(document, sort_keys=True))
+        os.replace(temporary, path)
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> None:
+        """Delete every entry (the fan-out directories stay)."""
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)

@@ -1,0 +1,126 @@
+"""The grid task DAG.
+
+A grid of C = W x P cells induces a two-level DAG: one
+:class:`TraceNode` per workload (traces are identical for every
+prefetcher, so they are built once) fanning out into one
+:class:`SimNode` per (workload, prefetcher) cell.  The scheduler runs
+trace nodes first and releases each workload's simulation nodes the
+moment its trace lands — there is no global barrier between the levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exec.keys import sim_key, trace_filename, trace_key
+from repro.sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class TraceNode:
+    """One trace-build task: the root of a workload's fan-out."""
+
+    workload: str
+    scale: float
+    budget_fraction: float
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Content key of the trace this node produces."""
+        return trace_key(self.workload, self.scale, self.budget_fraction,
+                         self.seed)
+
+    @property
+    def filename(self) -> str:
+        """Stable on-disk name for the built trace."""
+        return trace_filename(self.workload, self.scale,
+                              self.budget_fraction, self.seed)
+
+    @property
+    def name(self) -> str:
+        return f"trace:{self.workload}"
+
+
+@dataclass(frozen=True)
+class SimNode:
+    """One simulation task; depends on its workload's :class:`TraceNode`."""
+
+    trace: TraceNode
+    prefetcher: str
+
+    @property
+    def workload(self) -> str:
+        return self.trace.workload
+
+    @property
+    def cell(self) -> tuple[str, str]:
+        """The (workload, prefetcher) grid coordinates."""
+        return (self.trace.workload, self.prefetcher)
+
+    def key(self, config: SimConfig) -> str:
+        """Content key of the simulation result this node produces."""
+        return sim_key(
+            self.trace.workload,
+            self.prefetcher,
+            self.trace.scale,
+            self.trace.budget_fraction,
+            self.trace.seed,
+            config,
+        )
+
+    @property
+    def name(self) -> str:
+        return f"sim:{self.trace.workload}:{self.prefetcher}"
+
+
+class GridPlan:
+    """The task DAG for a set of grid cells.
+
+    Args:
+        cells: (workload, prefetcher) pairs, in the order the final
+            :class:`~repro.metrics.aggregate.ResultGrid` should list them.
+        scale / budget_fraction / seed: trace-build parameters shared by
+            every cell.
+        config: the machine configuration (part of every sim cache key).
+    """
+
+    def __init__(
+        self,
+        cells: Iterable[tuple[str, str]],
+        scale: float,
+        budget_fraction: float,
+        seed: int,
+        config: SimConfig,
+    ) -> None:
+        self.config = config
+        self.trace_nodes: dict[str, TraceNode] = {}
+        self.sim_nodes: list[SimNode] = []
+        for workload, prefetcher in cells:
+            node = self.trace_nodes.get(workload)
+            if node is None:
+                node = TraceNode(workload, scale, budget_fraction, seed)
+                self.trace_nodes[workload] = node
+            self.sim_nodes.append(SimNode(node, prefetcher))
+
+    @classmethod
+    def from_grid(
+        cls,
+        workloads: Sequence[str],
+        prefetchers: Sequence[str],
+        scale: float,
+        budget_fraction: float,
+        seed: int,
+        config: SimConfig,
+    ) -> "GridPlan":
+        """The full workload-major grid, matching the serial loop order."""
+        cells = [(w, p) for w in workloads for p in prefetchers]
+        return cls(cells, scale, budget_fraction, seed, config)
+
+    def dependents(self, workload: str) -> list[SimNode]:
+        """All simulation nodes fanning out of one workload's trace."""
+        return [node for node in self.sim_nodes if node.workload == workload]
+
+    def __len__(self) -> int:
+        return len(self.sim_nodes)

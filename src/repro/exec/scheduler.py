@@ -1,0 +1,482 @@
+"""DAG orchestration: cache probe, fan-out, retries, quarantine.
+
+:func:`execute_grid` drives a :class:`~repro.exec.plan.GridPlan` to
+completion:
+
+1. every simulation node is probed against the result cache — hits are
+   returned without scheduling any work;
+2. the remaining cells group by workload; each workload's trace-build
+   task is dispatched to the worker pool, and its simulation tasks are
+   released the moment the trace lands (no barrier between workloads);
+3. every task attempt is wrapped with an optional timeout, bounded retry
+   with exponential backoff, and worker-crash recovery.  A task that
+   exhausts its retries is *quarantined* — recorded in telemetry and
+   skipped — so one poisoned cell can never hang or abort the rest of
+   the grid.  Quarantining a trace task quarantines its dependent sims.
+
+``jobs=1`` runs everything in-process (no pool, no pickling) through the
+same cache/telemetry bookkeeping, so serial runs stay bit-identical to
+the historical path while still benefiting from the result cache.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from concurrent.futures import CancelledError, FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.common.errors import ExecError
+from repro.exec import telemetry as telemetry_module
+from repro.exec.cache import ResultCache
+from repro.exec.keys import short_digest
+from repro.exec.plan import GridPlan, SimNode
+from repro.exec.pool import (
+    InjectSpec,
+    SimTaskPayload,
+    TraceTaskPayload,
+    WorkerPool,
+    build_workload_trace,
+    execute_sim_task,
+    execute_trace_task,
+)
+from repro.exec.telemetry import ExecTelemetry
+from repro.sim.engine import simulate
+from repro.sim.results import SimResult
+from repro.trace.stream import Trace
+
+#: Progress callback signature: (workload, prefetcher) per finished cell.
+Progress = Callable[[str, str], None]
+
+
+@dataclass
+class ExecOptions:
+    """Execution policy knobs.
+
+    Attributes:
+        jobs: worker processes; None means ``os.cpu_count()``; 1 runs
+            in-process.
+        timeout: per-task wall-clock limit in seconds (pool mode only —
+            an in-process task cannot be interrupted).  None disables.
+        max_retries: failed attempts beyond the first before a task is
+            quarantined (so a task runs at most ``1 + max_retries`` times).
+        retry_backoff: base sleep before a retry; doubles per attempt.
+    """
+
+    jobs: int | None = None
+    timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+
+    def effective_jobs(self) -> int:
+        if self.jobs is None:
+            return os.cpu_count() or 1
+        return max(1, self.jobs)
+
+
+def execute_grid(
+    plan: GridPlan,
+    *,
+    options: ExecOptions | None = None,
+    cache: ResultCache | None = None,
+    trace_dir: str | Path | None = None,
+    trace_provider: Callable[[str], Trace] | None = None,
+    inject: Mapping[tuple[str, str], InjectSpec] | None = None,
+    progress: Progress | None = None,
+    stats_path: str | Path | None = None,
+    telemetry: ExecTelemetry | None = None,
+) -> tuple[dict[tuple[str, str], SimResult], ExecTelemetry]:
+    """Execute a grid plan; returns (results by cell, telemetry).
+
+    Quarantined cells are *absent* from the result mapping and listed in
+    ``telemetry.quarantined`` — the caller decides whether that is fatal.
+
+    Args:
+        cache: result cache; probed before scheduling, filled after.
+        trace_dir: where built traces are persisted for workers to read
+            (a private temporary directory is used when omitted).
+        trace_provider: in-process trace source used on the serial path
+            (``GridRunner.trace``), so serial runs share the caller's
+            trace caches.
+        inject: test-only fault injection per (workload, prefetcher).
+        stats_path: where to persist the telemetry JSON snapshot.
+    """
+    options = options or ExecOptions()
+    jobs = options.effective_jobs()
+    if telemetry is None:
+        telemetry = ExecTelemetry()
+    telemetry.jobs = jobs
+
+    results: dict[tuple[str, str], SimResult] = {}
+    misses: list[SimNode] = []
+    for node in plan.sim_nodes:
+        if cache is not None:
+            hit = cache.get(node.key(plan.config))
+            if hit is not None:
+                telemetry.cache_hits += 1
+                results[node.cell] = hit
+                if progress is not None:
+                    progress(*node.cell)
+                continue
+            telemetry.cache_misses += 1
+        misses.append(node)
+
+    try:
+        if misses:
+            if jobs <= 1:
+                _run_serial(plan, misses, results, cache, telemetry,
+                            trace_provider, dict(inject or {}), options,
+                            progress)
+            else:
+                _run_pool(plan, misses, results, cache, telemetry,
+                          trace_dir, dict(inject or {}), options, progress,
+                          jobs)
+    finally:
+        telemetry.finish()
+        telemetry_module.LAST_RUN = telemetry
+        if stats_path is not None:
+            telemetry.persist(stats_path)
+    return results, telemetry
+
+
+def _group_by_workload(nodes: list[SimNode]) -> dict[str, list[SimNode]]:
+    groups: dict[str, list[SimNode]] = {}
+    for node in nodes:
+        groups.setdefault(node.workload, []).append(node)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Serial (jobs=1) path
+# ---------------------------------------------------------------------------
+
+
+def _run_serial(
+    plan: GridPlan,
+    misses: list[SimNode],
+    results: dict[tuple[str, str], SimResult],
+    cache: ResultCache | None,
+    telemetry: ExecTelemetry,
+    trace_provider: Callable[[str], Trace] | None,
+    inject: dict[tuple[str, str], InjectSpec],
+    options: ExecOptions,
+    progress: Progress | None,
+) -> None:
+    from repro.harness.registry import make_prefetcher
+
+    groups = _group_by_workload(misses)
+    telemetry.task_queued(len(groups) + len(misses))
+    for workload, nodes in groups.items():
+        trace_node = plan.trace_nodes[workload]
+        telemetry.task_started()
+        started = time.perf_counter()
+        try:
+            if trace_provider is not None:
+                trace = trace_provider(workload)
+            else:
+                trace = build_workload_trace(
+                    workload, trace_node.scale, trace_node.budget_fraction,
+                    trace_node.seed,
+                )
+        except Exception as error:
+            telemetry.task_failed_attempt()
+            telemetry.quarantine(trace_node.name, "trace", str(error), 1)
+            for node in nodes:
+                telemetry.tasks_queued = max(0, telemetry.tasks_queued - 1)
+                telemetry.quarantine(
+                    node.name, "sim",
+                    f"trace build for {workload} was quarantined", 0,
+                )
+            continue
+        telemetry.traces_built += 1
+        telemetry.task_finished(trace_node.name, "trace",
+                                time.perf_counter() - started, 1)
+
+        for node in nodes:
+            spec = inject.get(node.cell)
+            attempts = 0
+            while True:
+                telemetry.task_started()
+                started = time.perf_counter()
+                try:
+                    if spec is not None and attempts < spec.times:
+                        raise ExecError(
+                            f"injected failure (attempt {attempts + 1} of "
+                            f"{spec.times})"
+                        )
+                    result = simulate(
+                        plan.config, make_prefetcher(node.prefetcher), trace
+                    )
+                    result.prefetcher = node.prefetcher
+                except Exception as error:
+                    telemetry.task_failed_attempt()
+                    attempts += 1
+                    if attempts > options.max_retries:
+                        telemetry.quarantine(node.name, "sim", str(error),
+                                             attempts)
+                        break
+                    telemetry.retries += 1
+                    time.sleep(options.retry_backoff * (2 ** (attempts - 1)))
+                    continue
+                telemetry.sims_run += 1
+                telemetry.task_finished(node.name, "sim",
+                                        time.perf_counter() - started,
+                                        attempts + 1)
+                results[node.cell] = result
+                if cache is not None:
+                    cache.put(node.key(plan.config), result)
+                if progress is not None:
+                    progress(*node.cell)
+                break
+
+
+# ---------------------------------------------------------------------------
+# Pool (jobs>1) path
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class _TaskState:
+    """Scheduler-side bookkeeping for one DAG task (identity-hashed)."""
+
+    kind: str  # "trace" | "sim"
+    name: str
+    workload: str
+    cell: tuple[str, str] | None
+    payload: object
+    fn: Callable
+    attempts: int = 0
+    future: Future | None = None
+    submitted_at: float = 0.0
+
+
+def _run_pool(
+    plan: GridPlan,
+    misses: list[SimNode],
+    results: dict[tuple[str, str], SimResult],
+    cache: ResultCache | None,
+    telemetry: ExecTelemetry,
+    trace_dir: str | Path | None,
+    inject: dict[tuple[str, str], InjectSpec],
+    options: ExecOptions,
+    progress: Progress | None,
+    jobs: int,
+) -> None:
+    temporary = (tempfile.TemporaryDirectory(prefix="repro-exec-")
+                 if trace_dir is None else None)
+    trace_root = Path(temporary.name if temporary else trace_dir)
+    trace_root.mkdir(parents=True, exist_ok=True)
+
+    groups = _group_by_workload(misses)
+    waiting: dict[str, list[SimNode]] = {w: list(n) for w, n in groups.items()}
+    pool = WorkerPool(jobs)
+    active: list[_TaskState] = []
+    # After a pool break the culprit is ambiguous (every in-flight future
+    # dies), so suspects are re-run one at a time: a repeat crash then
+    # charges exactly the task in flight, and healthy tasks are never
+    # quarantined for a neighbour's crash.
+    probe_queue: list[_TaskState] = []
+    _probing = [False]  # True while the single in-flight task is a suspect
+    sim_keys = {node.cell: node.key(plan.config) for node in misses}
+
+    def submit(state: _TaskState) -> None:
+        telemetry.task_started()
+        try:
+            state.future = pool.submit(state.fn, state.payload)
+        except Exception:
+            # The executor broke between our crash detection and this
+            # submission; rebuild it once and retry.
+            pool.restart()
+            state.future = pool.submit(state.fn, state.payload)
+        state.submitted_at = time.monotonic()
+
+    def dispatch(state: _TaskState) -> None:
+        """Run a task: immediately, or queued behind the serial probe."""
+        if probe_queue or _probing[0]:
+            probe_queue.append(state)
+        else:
+            submit(state)
+            active.append(state)
+
+    def quarantine(state: _TaskState, reason: str) -> None:
+        telemetry.quarantine(state.name, state.kind, reason, state.attempts)
+        if state.kind == "trace":
+            for node in waiting.pop(state.workload, []):
+                telemetry.tasks_queued = max(0, telemetry.tasks_queued - 1)
+                telemetry.quarantine(
+                    node.name, "sim",
+                    f"trace build for {state.workload} was quarantined", 0,
+                )
+
+    def make_sim_state(node: SimNode, trace_path: str) -> _TaskState:
+        spec = inject.get(node.cell)
+        counter = None
+        if spec is not None:
+            counter = str(trace_root /
+                          f"inject-{short_digest(*node.cell)}.count")
+        payload = SimTaskPayload(
+            workload=node.workload,
+            prefetcher=node.prefetcher,
+            config=plan.config,
+            trace_path=trace_path,
+            inject=spec,
+            inject_counter_path=counter,
+        )
+        return _TaskState("sim", node.name, node.workload, node.cell,
+                          payload, execute_sim_task)
+
+    def complete(state: _TaskState, outcome) -> None:
+        if state.kind == "trace":
+            if outcome.disk_hit:
+                telemetry.trace_disk_hits += 1
+            else:
+                telemetry.traces_built += 1
+            if outcome.rebuilt_corrupt:
+                telemetry.corrupt_traces += 1
+            telemetry.task_finished(state.name, "trace", outcome.seconds,
+                                    state.attempts + 1)
+            for node in waiting.pop(state.workload, []):
+                dispatch(make_sim_state(node, outcome.path))
+        else:
+            telemetry.sims_run += 1
+            telemetry.task_finished(state.name, "sim", outcome.seconds,
+                                    state.attempts + 1)
+            result = outcome.result
+            results[state.cell] = result
+            if cache is not None:
+                cache.put(sim_keys[state.cell], result)
+            if progress is not None:
+                progress(*state.cell)
+
+    telemetry.task_queued(len(groups) + len(misses))
+    for workload in groups:
+        node = plan.trace_nodes[workload]
+        payload = TraceTaskPayload(
+            workload=workload,
+            scale=node.scale,
+            budget_fraction=node.budget_fraction,
+            seed=node.seed,
+            path=str(trace_root / node.filename),
+        )
+        state = _TaskState("trace", node.name, workload, None, payload,
+                           execute_trace_task)
+        submit(state)
+        active.append(state)
+
+    try:
+        while active or probe_queue:
+            if not active and probe_queue:
+                # Pump the serial probe: exactly one suspect in flight,
+                # so a pool break now has an unambiguous culprit.
+                state = probe_queue.pop(0)
+                _probing[0] = True
+                submit(state)
+                active.append(state)
+
+            futures = {state.future: state for state in active}
+            done, _ = wait(list(futures), timeout=0.25,
+                           return_when=FIRST_COMPLETED)
+            pool_broke = False
+            for future in done:
+                state = futures[future]
+                try:
+                    error = future.exception()
+                except CancelledError:
+                    pool_broke = True
+                    continue
+                if error is None:
+                    active.remove(state)
+                    _probing[0] = False
+                    complete(state, future.result())
+                elif WorkerPool.is_pool_failure(error):
+                    pool_broke = True
+                else:
+                    active.remove(state)
+                    _probing[0] = False
+                    telemetry.task_failed_attempt()
+                    state.attempts += 1
+                    if state.attempts > options.max_retries:
+                        quarantine(state, str(error))
+                    else:
+                        telemetry.retries += 1
+                        time.sleep(options.retry_backoff
+                                   * (2 ** (state.attempts - 1)))
+                        telemetry.tasks_queued += 1
+                        dispatch(state)
+
+            if pool_broke:
+                # A worker died and every outstanding future died with
+                # the executor.
+                telemetry.worker_crashes += 1
+                pool.restart()
+                if len(active) == 1:
+                    # Exactly one task was in flight (e.g. the serial
+                    # probe): attribution is exact, so charge it.
+                    state = active.pop()
+                    _probing[0] = False
+                    telemetry.task_failed_attempt()
+                    state.attempts += 1
+                    if state.attempts > options.max_retries:
+                        quarantine(state, "worker process died")
+                    else:
+                        telemetry.retries += 1
+                        time.sleep(options.retry_backoff
+                                   * (2 ** (state.attempts - 1)))
+                        telemetry.tasks_queued += 1
+                        probe_queue.insert(0, state)
+                else:
+                    # Several tasks were in flight, so the culprit is
+                    # unknown; move them all — uncharged — to the probe
+                    # queue to be re-run one at a time.
+                    for state in active:
+                        telemetry.task_failed_attempt()
+                        telemetry.tasks_queued += 1
+                    probe_queue[:0] = active
+                    active = []
+                continue
+
+            if options.timeout is not None and active:
+                now = time.monotonic()
+                expired = {
+                    state for state in active
+                    if now - state.submitted_at > options.timeout
+                }
+                if expired:
+                    # A hung task only dies with its worker, and the
+                    # executor cannot survive that — kill the pool and
+                    # resubmit everything, charging only the laggards.
+                    telemetry.timeouts += len(expired)
+                    pool.restart()
+                    _probing[0] = False
+                    pending = active
+                    active = []
+                    for state in pending:
+                        telemetry.task_failed_attempt()
+                        if state in expired:
+                            state.attempts += 1
+                            if state.attempts > options.max_retries:
+                                quarantine(
+                                    state,
+                                    f"timed out after {options.timeout:.1f}s",
+                                )
+                                continue
+                            telemetry.retries += 1
+                        telemetry.tasks_queued += 1
+                        dispatch(state)
+    finally:
+        pool.shutdown()
+        if temporary is not None:
+            temporary.cleanup()
+
+
+def quarantine_report(telemetry: ExecTelemetry) -> str:
+    """One-line-per-task description of everything quarantined."""
+    lines = [
+        f"  {entry['task']} ({entry['kind']}, {entry['attempts']} "
+        f"attempt(s)): {entry['reason']}"
+        for entry in telemetry.quarantined
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Execution telemetry: counters, per-task wall times, ETA, persistence.
+
+One :class:`ExecTelemetry` instance accompanies each scheduled grid; the
+scheduler updates it live (tasks queued/running/done, cache hits, retries,
+crashes, quarantines) and persists a JSON snapshot next to the result
+cache so ``python -m repro exec-stats`` can report on the last run from a
+different process.  The module also keeps a handful of process-wide
+counters (e.g. corrupt traces recovered) that are incremented from code
+paths with no telemetry object in scope.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+logger = logging.getLogger("repro.exec")
+
+#: Process-wide event counters, for code paths that run outside a
+#: scheduled grid (e.g. ``GridRunner.trace`` recovering a corrupt file).
+PROCESS_COUNTERS: dict[str, int] = {"corrupt_traces": 0}
+
+#: The telemetry of the most recent :func:`repro.exec.scheduler.execute_grid`
+#: call in this process (tests and interactive sessions read it back).
+LAST_RUN: "ExecTelemetry | None" = None
+
+
+def count_corrupt_trace(path: object, telemetry: "ExecTelemetry | None" = None) -> None:
+    """Record one corrupt/truncated on-disk trace that was rebuilt."""
+    logger.warning("corrupt trace file %s: discarding and rebuilding", path)
+    PROCESS_COUNTERS["corrupt_traces"] += 1
+    if telemetry is not None:
+        telemetry.corrupt_traces += 1
+
+
+@dataclass
+class TaskTiming:
+    """Wall time of one completed task attempt."""
+
+    name: str
+    kind: str
+    seconds: float
+    attempts: int
+
+
+@dataclass
+class ExecTelemetry:
+    """Everything measured about one grid execution."""
+
+    jobs: int = 1
+    tasks_total: int = 0
+    tasks_queued: int = 0
+    tasks_running: int = 0
+    tasks_done: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    traces_built: int = 0
+    trace_disk_hits: int = 0
+    sims_run: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    corrupt_traces: int = 0
+    quarantined: list[dict[str, Any]] = field(default_factory=list)
+    task_times: list[TaskTiming] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    # -- live updates -------------------------------------------------------
+
+    def task_queued(self, count: int = 1) -> None:
+        self.tasks_total += count
+        self.tasks_queued += count
+
+    def task_started(self) -> None:
+        self.tasks_queued = max(0, self.tasks_queued - 1)
+        self.tasks_running += 1
+
+    def task_finished(self, name: str, kind: str, seconds: float,
+                      attempts: int) -> None:
+        self.tasks_running = max(0, self.tasks_running - 1)
+        self.tasks_done += 1
+        self.task_times.append(TaskTiming(name, kind, seconds, attempts))
+
+    def task_failed_attempt(self) -> None:
+        """A submitted attempt ended without producing a result."""
+        self.tasks_running = max(0, self.tasks_running - 1)
+
+    def quarantine(self, name: str, kind: str, reason: str,
+                   attempts: int) -> None:
+        """Permanently give up on one poisoned task."""
+        logger.error("quarantined %s after %d attempt(s): %s",
+                     name, attempts, reason)
+        self.quarantined.append({
+            "task": name, "kind": kind, "reason": reason, "attempts": attempts,
+        })
+
+    def finish(self) -> None:
+        self.wall_seconds = time.perf_counter() - self._started
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def tasks_pending(self) -> int:
+        return max(0, self.tasks_total - self.tasks_done - len(self.quarantined))
+
+    def mean_task_seconds(self) -> float:
+        if not self.task_times:
+            return 0.0
+        return sum(t.seconds for t in self.task_times) / len(self.task_times)
+
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds until the grid drains (None before any data)."""
+        if not self.task_times:
+            return None
+        return self.mean_task_seconds() * self.tasks_pending / max(1, self.jobs)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat snapshot of every counter (the exec-stats payload)."""
+        eta = self.eta_seconds()
+        return {
+            "jobs": self.jobs,
+            "tasks_total": self.tasks_total,
+            "tasks_queued": self.tasks_queued,
+            "tasks_running": self.tasks_running,
+            "tasks_done": self.tasks_done,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "traces_built": self.traces_built,
+            "trace_disk_hits": self.trace_disk_hits,
+            "sims_run": self.sims_run,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "corrupt_traces": self.corrupt_traces,
+            "quarantined": len(self.quarantined),
+            "quarantined_tasks": [entry["task"] for entry in self.quarantined],
+            "mean_task_seconds": self.mean_task_seconds(),
+            "eta_seconds": eta if eta is not None else 0.0,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def render(self) -> str:
+        """Human-readable statistics table."""
+        from repro.harness.report import format_exec_stats
+
+        return format_exec_stats(self.summary())
+
+    # -- persistence --------------------------------------------------------
+
+    def persist(self, path: str | Path) -> None:
+        """Write a JSON snapshot (summary + per-task timings)."""
+        document = {
+            "summary": self.summary(),
+            "quarantined": self.quarantined,
+            "task_times": [asdict(timing) for timing in self.task_times],
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_stats(path: str | Path) -> dict[str, Any]:
+    """Read back a snapshot written by :meth:`ExecTelemetry.persist`."""
+    return json.loads(Path(path).read_text())

@@ -62,6 +62,47 @@ def format_percent_table(
     return format_table(headers, rows, title=title, float_format="{:6.1%}")
 
 
+#: exec-stats rows: (summary key, human label, format).
+_EXEC_STAT_ROWS = [
+    ("jobs", "worker processes", "{:d}"),
+    ("tasks_total", "tasks scheduled", "{:d}"),
+    ("tasks_queued", "tasks queued", "{:d}"),
+    ("tasks_running", "tasks running", "{:d}"),
+    ("tasks_done", "tasks done", "{:d}"),
+    ("cache_hits", "result-cache hits", "{:d}"),
+    ("cache_misses", "result-cache misses", "{:d}"),
+    ("traces_built", "traces built", "{:d}"),
+    ("trace_disk_hits", "trace disk hits", "{:d}"),
+    ("sims_run", "simulations run", "{:d}"),
+    ("retries", "retries", "{:d}"),
+    ("timeouts", "timeouts", "{:d}"),
+    ("worker_crashes", "worker crashes", "{:d}"),
+    ("corrupt_traces", "corrupt traces rebuilt", "{:d}"),
+    ("quarantined", "tasks quarantined", "{:d}"),
+    ("mean_task_seconds", "mean task seconds", "{:.3f}"),
+    ("eta_seconds", "eta seconds", "{:.1f}"),
+    ("wall_seconds", "wall seconds", "{:.2f}"),
+]
+
+
+def format_exec_stats(summary: Mapping[str, object]) -> str:
+    """Render an execution-telemetry summary (see ``repro exec-stats``).
+
+    Accepts the mapping produced by
+    :meth:`repro.exec.telemetry.ExecTelemetry.summary`; unknown keys are
+    ignored so older snapshots still render.
+    """
+    rows: list[list[object]] = []
+    for key, label, fmt in _EXEC_STAT_ROWS:
+        if key in summary:
+            rows.append([label, fmt.format(summary[key])])
+    quarantined = summary.get("quarantined_tasks") or []
+    for name in quarantined:
+        rows.append(["quarantined task", str(name)])
+    return format_table(["statistic", "value"], rows,
+                        title="Grid execution statistics")
+
+
 def format_mapping(
     mapping: Mapping[str, float],
     title: str | None = None,

@@ -3,25 +3,48 @@
 Traces are expensive to generate (the IR interpreter executes every
 iteration over real data) but identical for every prefetcher, so the
 runner builds each workload's trace once and reuses it across the grid.
-A process-wide in-memory cache covers repeated experiment calls; an
-optional on-disk cache (the binary trace format) survives processes.
+A bounded process-wide in-memory LRU covers repeated experiment calls;
+an optional on-disk cache (the binary trace format) survives processes.
+
+Grid execution itself delegates to :mod:`repro.exec` whenever
+parallelism (``jobs != 1``) or a result cache is configured: the grid
+becomes a task DAG on a multiprocessing pool with content-addressed
+result caching and fault-tolerant workers.  With ``jobs=1`` and no
+result cache the historical in-process loop runs unchanged.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.common.errors import ExecError
 from repro.metrics.aggregate import ResultGrid
 from repro.prefetchers.base import Prefetcher
 from repro.sim.config import REDUCED_CONFIG, SimConfig
 from repro.sim.engine import simulate
 from repro.sim.results import SimResult
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import try_read_trace, write_trace
 from repro.trace.stream import Trace
 from repro.workloads.base import build_trace, get_workload
 
-_MEMORY_CACHE: dict[tuple[str, float, float, int], Trace] = {}
+#: Most-recently-used traces, bounded: a long sweep over many scales
+#: must not retain every trace it ever built.
+_MEMORY_CACHE: "OrderedDict[tuple[str, float, float, int], Trace]" = (
+    OrderedDict()
+)
+_MEMORY_CACHE_CAPACITY = 8
+
+
+def _remember_trace(
+    key: tuple[str, float, float, int], trace: Trace
+) -> None:
+    _MEMORY_CACHE[key] = trace
+    _MEMORY_CACHE.move_to_end(key)
+    while len(_MEMORY_CACHE) > _MEMORY_CACHE_CAPACITY:
+        _MEMORY_CACHE.popitem(last=False)
 
 
 class GridRunner:
@@ -34,7 +57,16 @@ class GridRunner:
             tests use small fractions for fast, structurally identical
             runs.
         seed: workload data seed.
-        cache_dir: optional directory for on-disk trace caching.
+        cache_dir: optional directory for on-disk trace caching (also
+            the default home of the result cache and execution stats).
+        jobs: default worker processes for :meth:`run_grid`; ``1`` (the
+            default) runs in-process, ``None`` uses ``os.cpu_count()``.
+        result_cache: the content-addressed simulation-result cache.
+            ``None`` (default) enables it under ``cache_dir/results``
+            when ``cache_dir`` is set; ``False`` disables it; a path
+            uses that directory directly.
+        exec_options: base :class:`repro.exec.ExecOptions` (timeout,
+            retry policy) for delegated grid runs; ``jobs`` above wins.
     """
 
     def __init__(
@@ -44,12 +76,26 @@ class GridRunner:
         budget_fraction: float = 1.0,
         seed: int = 0,
         cache_dir: str | Path | None = None,
+        jobs: int | None = 1,
+        result_cache: bool | str | Path | None = None,
+        exec_options: "object | None" = None,
     ) -> None:
         self.config = config
         self.scale = scale
         self.budget_fraction = budget_fraction
         self.seed = seed
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.jobs = jobs
+        self.exec_options = exec_options
+        if result_cache is False:
+            self._result_cache_root: Path | None = None
+        elif result_cache in (None, True):
+            self._result_cache_root = (
+                self.cache_dir / "results"
+                if self.cache_dir is not None else None
+            )
+        else:
+            self._result_cache_root = Path(result_cache)
         # Simulations are deterministic, so registry-built grid cells are
         # memoized: experiments sharing a runner reuse each other's cells.
         self._results: dict[tuple[str, str], SimResult] = {}
@@ -61,13 +107,21 @@ class GridRunner:
         key = (workload, self.scale, self.budget_fraction, self.seed)
         cached = _MEMORY_CACHE.get(key)
         if cached is not None:
+            _MEMORY_CACHE.move_to_end(key)
             return cached
 
         disk_path = self._disk_path(workload)
         if disk_path is not None and disk_path.exists():
-            trace = read_trace(disk_path)
-            _MEMORY_CACHE[key] = trace
-            return trace
+            trace = try_read_trace(disk_path)
+            if trace is not None:
+                _remember_trace(key, trace)
+                return trace
+            # A corrupt or truncated cache entry must not sink the whole
+            # experiment: report it, drop it, rebuild below.
+            from repro.exec.telemetry import count_corrupt_trace
+
+            count_corrupt_trace(disk_path)
+            disk_path.unlink(missing_ok=True)
 
         spec = get_workload(workload)
         budget = max(
@@ -76,7 +130,7 @@ class GridRunner:
         trace = build_trace(
             spec, scale=self.scale, max_accesses=budget, seed=self.seed
         )
-        _MEMORY_CACHE[key] = trace
+        _remember_trace(key, trace)
         if disk_path is not None:
             disk_path.parent.mkdir(parents=True, exist_ok=True)
             write_trace(trace, disk_path)
@@ -85,9 +139,13 @@ class GridRunner:
     def _disk_path(self, workload: str) -> Path | None:
         if self.cache_dir is None:
             return None
-        safe = workload.replace("/", "_")
-        return self.cache_dir / (
-            f"{safe}-s{self.scale}-b{self.budget_fraction}-r{self.seed}.trace"
+        from repro.exec.keys import trace_filename
+
+        # The digest-based name is stable across processes and never
+        # collides: raw float reprs (s0.30000000000000004) used to
+        # produce both unstable and ambiguous names.
+        return self.cache_dir / trace_filename(
+            workload, self.scale, self.budget_fraction, self.seed
         )
 
     # -- simulation ---------------------------------------------------------
@@ -123,15 +181,81 @@ class GridRunner:
         workloads: Sequence[str],
         prefetchers: Sequence[str],
         progress: Callable[[str, str], None] | None = None,
+        jobs: int | None = None,
     ) -> ResultGrid:
-        """Simulate the full (workload x prefetcher) grid."""
-        results: list[SimResult] = []
-        for workload in workloads:
-            for name in prefetchers:
-                if progress is not None:
-                    progress(workload, name)
-                results.append(self.run_one(workload, name))
-        return ResultGrid(results)
+        """Simulate the full (workload x prefetcher) grid.
+
+        Args:
+            jobs: worker processes for this run, overriding the runner's
+                default; ``1`` runs in-process, ``None`` defers to the
+                runner (whose own ``None`` means ``os.cpu_count()``).
+
+        Cells are deterministic, so any ``jobs`` value yields an
+        identical grid; parallel runs and cache replays differ only in
+        wall time.
+        """
+        effective_jobs = jobs if jobs is not None else self.jobs
+        if effective_jobs is None:
+            effective_jobs = os.cpu_count() or 1
+        if effective_jobs <= 1 and self._result_cache_root is None:
+            results: list[SimResult] = []
+            for workload in workloads:
+                for name in prefetchers:
+                    if progress is not None:
+                        progress(workload, name)
+                    results.append(self.run_one(workload, name))
+            return ResultGrid(results)
+        return self._run_grid_exec(workloads, prefetchers, effective_jobs,
+                                   progress)
+
+    def _run_grid_exec(
+        self,
+        workloads: Sequence[str],
+        prefetchers: Sequence[str],
+        jobs: int,
+        progress: Callable[[str, str], None] | None,
+    ) -> ResultGrid:
+        from repro.exec import ExecOptions, GridPlan, ResultCache
+        from repro.exec.scheduler import execute_grid, quarantine_report
+
+        cells = [(w, p) for w in workloads for p in prefetchers]
+        todo = [cell for cell in cells if cell not in self._results]
+        if todo:
+            base = self.exec_options or ExecOptions()
+            options = ExecOptions(
+                jobs=jobs,
+                timeout=base.timeout,
+                max_retries=base.max_retries,
+                retry_backoff=base.retry_backoff,
+            )
+            plan = GridPlan(todo, self.scale, self.budget_fraction,
+                            self.seed, self.config)
+            cache = (ResultCache(self._result_cache_root)
+                     if self._result_cache_root is not None else None)
+            executed, telemetry = execute_grid(
+                plan,
+                options=options,
+                cache=cache,
+                trace_dir=self.cache_dir,
+                trace_provider=self.trace if jobs <= 1 else None,
+                progress=progress,
+                stats_path=self._stats_path(),
+            )
+            if telemetry.quarantined:
+                raise ExecError(
+                    "grid execution quarantined "
+                    f"{len(telemetry.quarantined)} task(s):\n"
+                    + quarantine_report(telemetry)
+                )
+            self._results.update(executed)
+        return ResultGrid(self._results[cell] for cell in cells)
+
+    def _stats_path(self) -> Path | None:
+        if self.cache_dir is not None:
+            return self.cache_dir / "exec-stats.json"
+        if self._result_cache_root is not None:
+            return self._result_cache_root / "exec-stats.json"
+        return None
 
 
 def run_grid(
@@ -141,6 +265,8 @@ def run_grid(
     scale: float = 1.0,
     budget_fraction: float = 1.0,
     seed: int = 0,
+    jobs: int | None = 1,
+    cache_dir: str | Path | None = None,
 ) -> ResultGrid:
     """One-shot convenience wrapper around :class:`GridRunner`."""
     runner = GridRunner(
@@ -148,6 +274,8 @@ def run_grid(
         scale=scale,
         budget_fraction=budget_fraction,
         seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     return runner.run_grid(workloads, prefetchers)
 

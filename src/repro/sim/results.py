@@ -4,6 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+#: Version of the serialized :class:`SimResult` layout.  Bump on any
+#: field change; it is mixed into every result-cache key so stale cached
+#: entries can never be deserialized into a newer schema.
+RESULT_SCHEMA_VERSION = 1
 
 
 class DemandClass(Enum):
@@ -111,6 +119,65 @@ class SimResult:
         if self.l1_misses == 0:
             return 0.0
         return self.wrong_prefetches / self.l1_misses
+
+    def to_dict(self) -> dict[str, Any]:
+        """Exact, versioned serialization (the result-cache payload).
+
+        Unlike :func:`repro.harness.export.result_to_dict` this keeps only
+        raw measured fields (no derived metrics) so that
+        :meth:`from_dict` round-trips to an equal :class:`SimResult`.
+        """
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "workload": self.workload,
+            "prefetcher": self.prefetcher,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "demand_accesses": self.demand_accesses,
+            "l1_misses": self.l1_misses,
+            "llc_misses": self.llc_misses,
+            "classes": {cls.value: self.classes[cls] for cls in DemandClass},
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_fills": self.prefetch_fills,
+            "useful_prefetches": self.useful_prefetches,
+            "wrong_prefetches": self.wrong_prefetches,
+            "demand_bytes_read": self.demand_bytes_read,
+            "prefetch_bytes_read": self.prefetch_bytes_read,
+            "storage_bits": self.storage_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ConfigError(
+                f"result schema {schema!r} does not match "
+                f"version {RESULT_SCHEMA_VERSION}"
+            )
+        classes = {
+            DemandClass(value): int(count)
+            for value, count in data["classes"].items()
+        }
+        for demand_class in DemandClass:
+            classes.setdefault(demand_class, 0)
+        return cls(
+            workload=data["workload"],
+            prefetcher=data["prefetcher"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            demand_accesses=data["demand_accesses"],
+            l1_misses=data["l1_misses"],
+            llc_misses=data["llc_misses"],
+            classes=classes,
+            prefetches_issued=data["prefetches_issued"],
+            prefetch_fills=data["prefetch_fills"],
+            useful_prefetches=data["useful_prefetches"],
+            wrong_prefetches=data["wrong_prefetches"],
+            demand_bytes_read=data["demand_bytes_read"],
+            prefetch_bytes_read=data["prefetch_bytes_read"],
+            storage_bits=data["storage_bits"],
+        )
 
     def summary(self) -> str:
         """One-line human-readable digest."""

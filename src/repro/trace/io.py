@@ -124,6 +124,19 @@ def _read(handle: BinaryIO) -> Trace:
     return Trace(name, events, instructions)
 
 
+def try_read_trace(path: str | Path) -> Trace | None:
+    """Read a trace, returning None instead of raising on a bad file.
+
+    Covers every way an on-disk cache entry can be unusable — truncated
+    mid-stream, garbage bytes, wrong version, unreadable — so callers can
+    treat all of them uniformly as "rebuild it".
+    """
+    try:
+        return read_trace(path)
+    except (TraceError, OSError, UnicodeDecodeError, struct.error):
+        return None
+
+
 def trace_to_bytes(trace: Trace) -> bytes:
     """Serialize a trace to an in-memory byte string (testing helper)."""
     buffer = io.BytesIO()

@@ -86,3 +86,13 @@ def fresh_trace_cache():
     clear_trace_cache()
     yield
     clear_trace_cache()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cli_cache(tmp_path, monkeypatch):
+    """Point the CLI's default cache directory away from the repo.
+
+    Without this, any test invoking ``repro.cli.main`` would create
+    ``.repro-cache/`` in the current working directory.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
