@@ -69,6 +69,21 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-result-cache", action="store_true",
         help="do not reuse or store cached simulation results",
     )
+    parser.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="identifier for the write-ahead run journal "
+             "(default: a fresh timestamped id)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume a journaled prior run: completed cells replay from "
+             "the result cache, only the remainder executes",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail instead of completing with DEGRADED holes when any "
+             "cell is quarantined",
+    )
 
 
 def _runner(args: argparse.Namespace) -> GridRunner:
@@ -79,6 +94,9 @@ def _runner(args: argparse.Namespace) -> GridRunner:
         cache_dir=args.cache_dir,
         jobs=None if args.jobs == 0 else args.jobs,
         result_cache=False if args.no_result_cache else None,
+        run_id=getattr(args, "run_id", None),
+        resume=getattr(args, "resume", None),
+        strict=getattr(args, "strict", False),
     )
 
 
@@ -96,20 +114,37 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code of a run that completed, but with DEGRADED holes.
+EXIT_DEGRADED = 3
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.registry import make_prefetcher
+
     runner = _runner(args)
     prefetchers = (
         PAPER_PREFETCHER_ORDER if args.prefetcher == "all"
         else [args.prefetcher]
     )
     workloads = ALL_WORKLOADS if args.workload == "all" else [args.workload]
+    # Validate names before any work: a typo must fail loudly up front,
+    # not get quarantined into a DEGRADED hole by the lenient scheduler.
+    for workload in workloads:
+        get_workload(workload)
+    for name in prefetchers:
+        make_prefetcher(name)
+
+    grid = runner.run_grid(workloads, prefetchers)
     header = (f"{'workload':<26} {'prefetcher':<12} {'IPC':>6} {'MPKI':>8} "
               f"{'timely':>7} {'sw':>6} {'wrong':>6}")
     print(header)
     print("-" * len(header))
     for workload in workloads:
         for name in prefetchers:
-            result = runner.run_one(workload, name)
+            result = grid.get(workload, name)
+            if result.degraded:
+                print(f"{workload:<26} {name:<12} DEGRADED")
+                continue
             print(
                 f"{workload:<26} {name:<12} {result.ipc:6.3f} "
                 f"{result.mpki:8.2f} "
@@ -117,10 +152,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{result.class_fraction(DemandClass.SHORTER_WAITING):6.1%} "
                 f"{result.wrong_fraction:6.1%}"
             )
+    if runner.last_run_id is not None:
+        print(f"\nrun journal: {runner.last_run_id} "
+              f"(resume with --resume {runner.last_run_id})")
     if args.json is not None:
         from repro.harness.export import write_json
 
-        grid = runner.run_grid(workloads, prefetchers)
         write_json(
             grid, args.json,
             budget_fraction=args.budget_fraction,
@@ -128,6 +165,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         print(f"\nwrote {args.json}")
+    if grid.degraded_cells:
+        print(f"warning: {len(grid.degraded_cells)} DEGRADED cell(s); "
+              "see `repro exec-stats` for the quarantine report",
+              file=sys.stderr)
+        return EXIT_DEGRADED
     return 0
 
 
@@ -194,6 +236,74 @@ def _cmd_exec_stats(args: argparse.Namespace) -> int:
     document = load_stats(path)
     print(format_exec_stats(document.get("summary", {})))
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.exec.journal import RUNS_DIRNAME, list_runs
+    from repro.harness.report import format_run_list
+
+    summaries = list_runs(Path(args.cache_dir) / RUNS_DIRNAME)
+    if not summaries:
+        print(f"no journaled runs under {args.cache_dir}")
+        return 0
+    print(format_run_list(summaries))
+    return 0
+
+
+def _cmd_verify_artifacts(args: argparse.Namespace) -> int:
+    """Walk the cache directory and verify every artifact's integrity.
+
+    Trace files are checked against their embedded payload CRC, cached
+    results against their schema + checksum envelope, and run journals
+    for torn tails.  Exit 0 when everything verifies; exit 1 and list
+    the offenders otherwise (``--purge`` deletes corrupt traces and
+    results so the next run rebuilds them).
+    """
+    from pathlib import Path
+
+    from repro.exec.cache import ResultCache
+    from repro.exec.journal import RUNS_DIRNAME, list_runs
+    from repro.trace.io import verify_trace_file
+
+    root = Path(args.cache_dir)
+    if not root.is_dir():
+        print(f"no cache directory at {root}")
+        return 0
+
+    ok = 0
+    corrupt: list[tuple[Path, str]] = []
+    for path in sorted(root.glob("*.trace")):
+        reason = verify_trace_file(path)
+        if reason is None:
+            ok += 1
+        else:
+            corrupt.append((path, reason))
+
+    results_root = root / "results"
+    if results_root.is_dir():
+        cache_ok, cache_bad = ResultCache(results_root).verify()
+        ok += cache_ok
+        corrupt.extend(cache_bad)
+
+    torn_runs = 0
+    for summary in list_runs(root / RUNS_DIRNAME):
+        if summary.torn_lines:
+            torn_runs += 1
+            print(f"journal {summary.run_id}: {summary.torn_lines} torn "
+                  "line(s) discarded at replay (tolerated)")
+
+    print(f"verified {ok} artifact(s): {len(corrupt)} corrupt, "
+          f"{torn_runs} journal(s) with torn tails")
+    if not corrupt:
+        return 0
+    for path, reason in corrupt:
+        print(f"corrupt: {path}: {reason}", file=sys.stderr)
+        if args.purge:
+            Path(path).unlink(missing_ok=True)
+            print(f"purged:  {path}", file=sys.stderr)
+    return 0 if args.purge else 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -274,11 +384,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(stats_parser)
     stats_parser.set_defaults(handler=_cmd_exec_stats)
 
+    runs_parser = subparsers.add_parser(
+        "runs", help="inspect journaled runs")
+    runs_parser.add_argument("action", choices=["list"])
+    _add_cache_arguments(runs_parser)
+    runs_parser.set_defaults(handler=_cmd_runs)
+
+    verify_parser = subparsers.add_parser(
+        "verify-artifacts",
+        help="checksum-verify cached traces, results, and run journals")
+    verify_parser.add_argument(
+        "--purge", action="store_true",
+        help="delete corrupt artifacts so the next run rebuilds them")
+    _add_cache_arguments(verify_parser)
+    verify_parser.set_defaults(handler=_cmd_verify_artifacts)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.exec import faults
+
+    faults.install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,8 +1,29 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and failure taxonomy for the repro package.
 
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one type at the API boundary.
+
+The execution engine additionally *classifies* failures so its retry and
+degradation policies can react differently to each class:
+
+``TRANSIENT``
+    The attempt failed for a reason that may not recur (worker crash,
+    timeout, resource pressure).  Worth retrying.
+``PERMANENT``
+    The task is deterministically broken (bad configuration, unknown
+    workload, invalid program).  Retrying wastes time; fail fast.
+``POISONED``
+    The task repeatedly kills or wedges its worker.  It must be isolated
+    so it cannot take the rest of the grid down with it.
+
+:func:`classify_error` maps an exception to a class; tasks that want a
+specific classification raise :class:`TransientError` or
+:class:`PermanentError` directly.
 """
+
+from __future__ import annotations
+
+from enum import Enum
 
 
 class ReproError(Exception):
@@ -27,3 +48,63 @@ class ValidationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was requested with unknown name or invalid parameters."""
+
+
+class IntegrityError(ReproError):
+    """A persisted artifact failed its checksum or schema check."""
+
+
+class JournalError(ReproError):
+    """A run journal is missing, unreadable, or does not match the grid."""
+
+
+class TransientError(ExecError):
+    """A task failure that is expected to succeed on retry."""
+
+
+class PermanentError(ExecError):
+    """A task failure that retrying cannot fix."""
+
+
+class FaultInjected(ExecError):
+    """An error raised by the fault-injection harness (tests only)."""
+
+
+class InjectedCrash(FaultInjected):
+    """A simulated process death raised by the fault-injection harness.
+
+    In-process fault tests raise this instead of calling ``os._exit`` so
+    the 'crashed' state (torn journal line, half-written artifact) can be
+    inspected and resumed within the same test process.
+    """
+
+
+class ErrorKind(Enum):
+    """Failure classification used by the retry/degradation policy."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    POISONED = "poisoned"
+
+
+#: Exception types whose failures are deterministic: the same inputs
+#: will fail the same way, so retries are pointless.
+_PERMANENT_TYPES = (ConfigError, ValidationError, WorkloadError)
+
+
+def classify_error(error: BaseException) -> ErrorKind:
+    """Map an exception to its failure class.
+
+    Explicit :class:`TransientError` / :class:`PermanentError` wins;
+    configuration and validation errors are deterministic and therefore
+    permanent; everything else (I/O hiccups, crashes surfaced as generic
+    exceptions) defaults to transient so the bounded retry policy gets a
+    chance to recover it.
+    """
+    if isinstance(error, PermanentError):
+        return ErrorKind.PERMANENT
+    if isinstance(error, TransientError):
+        return ErrorKind.TRANSIENT
+    if isinstance(error, _PERMANENT_TYPES):
+        return ErrorKind.PERMANENT
+    return ErrorKind.TRANSIENT

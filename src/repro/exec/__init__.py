@@ -17,12 +17,26 @@ scope, so the harness can import it freely.
 ``plan``       the task DAG (trace nodes fanning into sim nodes)
 ``cache``      on-disk result cache keyed by ``keys.sim_key``
 ``pool``       worker-side task execution + pool lifecycle
-``scheduler``  DAG orchestration, retries, quarantine, timeouts
+``scheduler``  DAG orchestration, retries, quarantine, degradation
 ``telemetry``  counters, per-task wall times, ETA, persistence
+``journal``    write-ahead run journal + resume replay
+``faults``     deterministic fault injection for the test suite
 ============== ==========================================================
 """
 
-from repro.exec.cache import ResultCache
+from repro.exec.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.exec.faults import FaultInjector, FaultSpec, parse_fault_plan
+from repro.exec.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    RunReplay,
+    RunSummary,
+    list_runs,
+    load_run,
+    new_run_id,
+    replay,
+    run_fingerprint,
+)
 from repro.exec.keys import (
     CODE_VERSION,
     sim_key,
@@ -36,15 +50,28 @@ from repro.exec.scheduler import ExecOptions, execute_grid
 from repro.exec.telemetry import ExecTelemetry
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "CODE_VERSION",
     "ExecOptions",
     "ExecTelemetry",
+    "FaultInjector",
+    "FaultSpec",
     "GridPlan",
     "InjectSpec",
+    "JOURNAL_SCHEMA_VERSION",
     "ResultCache",
+    "RunJournal",
+    "RunReplay",
+    "RunSummary",
     "SimNode",
     "TraceNode",
     "execute_grid",
+    "list_runs",
+    "load_run",
+    "new_run_id",
+    "parse_fault_plan",
+    "replay",
+    "run_fingerprint",
     "sim_key",
     "stable_hash",
     "trace_filename",

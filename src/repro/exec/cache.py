@@ -9,19 +9,38 @@ prefetcher name, schema and code versions — so a hit is always safe to
 replay and a re-run of any figure with unchanged inputs is a pure cache
 read.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or
-concurrent writer can never leave a half-written entry; unreadable or
-schema-mismatched entries are treated as misses and deleted.
+Entry integrity: every document carries a schema version and a SHA-256
+checksum of its canonical result payload.  ``get`` verifies both before
+deserializing — a bit-flipped, truncated, or stale-schema entry is
+*demoted to a miss* (logged, deleted, rebuilt by the caller) instead of
+crashing the run or, worse, silently poisoning it.  Writes are atomic
+and durable (temp file + fsync + ``os.replace``) so a crashed or
+concurrent writer can never leave a half-written entry.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 
 from repro.common.errors import ReproError
 from repro.sim.results import SimResult
+
+logger = logging.getLogger("repro.exec")
+
+#: Version of the cache *envelope* (schema + checksum + result layout).
+#: Bump whenever the document shape changes; older entries are then
+#: treated as misses and deleted rather than deserialized.
+CACHE_SCHEMA_VERSION = 2
+
+
+def _result_checksum(result_payload: dict) -> str:
+    canonical = json.dumps(result_payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -35,30 +54,66 @@ class ResultCache:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def _verify_document(self, document: object) -> SimResult:
+        """Deserialize one envelope, raising :class:`ReproError` variants
+        on any schema or integrity violation."""
+        if not isinstance(document, dict):
+            raise ReproError("cache entry is not a JSON object")
+        schema = document.get("schema")
+        if schema != CACHE_SCHEMA_VERSION:
+            raise ReproError(
+                f"cache entry schema {schema!r} does not match "
+                f"version {CACHE_SCHEMA_VERSION}"
+            )
+        payload = document["result"]
+        recorded = document.get("checksum")
+        actual = _result_checksum(payload)
+        if recorded != actual:
+            raise ReproError(
+                f"cache entry checksum mismatch (recorded {recorded!r}, "
+                f"actual {actual!r})"
+            )
+        return SimResult.from_dict(payload)
+
     def get(self, key: str) -> SimResult | None:
         """The cached result, or None on a miss.
 
-        A corrupt or stale-schema entry counts as a miss and is deleted
-        so the slot is rebuilt cleanly.
+        A corrupt, checksum-failing, or stale-schema entry counts as a
+        miss and is deleted so the slot is rebuilt cleanly.
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-            return SimResult.from_dict(payload["result"])
+            document = json.loads(path.read_text())
+            return self._verify_document(document)
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError, ReproError):
+        except (OSError, ValueError, KeyError, TypeError, ReproError) as error:
+            logger.warning(
+                "discarding unusable result-cache entry %s: %s", path, error
+            )
             path.unlink(missing_ok=True)
             return None
 
     def put(self, key: str, result: SimResult) -> None:
-        """Store one result atomically."""
+        """Store one result atomically and durably."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        document = {"key": key, "result": result.to_dict()}
+        payload = result.to_dict()
+        document = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "checksum": _result_checksum(payload),
+            "result": payload,
+        }
         temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        temporary.write_text(json.dumps(document, sort_keys=True))
-        os.replace(temporary, path)
+        try:
+            with open(temporary, "w") as handle:
+                handle.write(json.dumps(document, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, path)
+        finally:
+            temporary.unlink(missing_ok=True)
 
     def contains(self, key: str) -> bool:
         return self.path_for(key).exists()
@@ -70,3 +125,28 @@ class ResultCache:
         """Delete every entry (the fan-out directories stay)."""
         for entry in self.root.glob("*/*.json"):
             entry.unlink(missing_ok=True)
+
+    def verify(self) -> tuple[int, list[tuple[Path, str]]]:
+        """Integrity-check every entry without deleting anything.
+
+        Returns ``(ok_count, [(path, reason), ...])`` for the entries
+        that fail schema or checksum verification.
+        """
+        ok = 0
+        corrupt: list[tuple[Path, str]] = []
+        for entry in sorted(self.root.glob("*/*.json")):
+            try:
+                document = json.loads(entry.read_text())
+                result = self._verify_document(document)
+                expected_key = document.get("key")
+                if expected_key != entry.stem:
+                    raise ReproError(
+                        f"entry key {expected_key!r} does not match its "
+                        f"filename {entry.stem!r}"
+                    )
+                del result
+                ok += 1
+            except (OSError, ValueError, KeyError, TypeError,
+                    ReproError) as error:
+                corrupt.append((entry, str(error)))
+        return ok, corrupt

@@ -30,7 +30,7 @@ from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
 from typing import Callable
 
-from repro.common.errors import ExecError
+from repro.common.errors import ExecError, PermanentError
 from repro.sim.config import SimConfig
 from repro.sim.engine import simulate
 from repro.sim.results import SimResult
@@ -49,10 +49,11 @@ class InjectSpec:
     """Test hook: misbehave on the first ``times`` attempts of a task.
 
     Attributes:
-        mode: ``"raise"`` (raise :class:`ExecError`), ``"crash"``
-            (hard-exit the worker process), or ``"hang"`` (sleep past
-            the task timeout).  Only ``"raise"`` is honoured on the
-            in-process (jobs=1) path.
+        mode: ``"raise"`` (raise :class:`ExecError`),
+            ``"raise-permanent"`` (raise :class:`PermanentError`, which
+            skips the retry budget), ``"crash"`` (hard-exit the worker
+            process), or ``"hang"`` (sleep past the task timeout).  Only
+            the raise modes are honoured on the in-process (jobs=1) path.
         times: number of initial attempts that misbehave.
         hang_seconds: sleep length for ``"hang"`` mode.
     """
@@ -128,6 +129,11 @@ def apply_injection(inject: InjectSpec | None,
     if inject.mode == "hang":
         time.sleep(inject.hang_seconds)
         return
+    if inject.mode == "raise-permanent":
+        raise PermanentError(
+            f"injected permanent failure (attempt {attempts + 1} of "
+            f"{inject.times})"
+        )
     raise ExecError(
         f"injected failure (attempt {attempts + 1} of {inject.times})"
     )

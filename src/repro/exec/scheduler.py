@@ -1,4 +1,4 @@
-"""DAG orchestration: cache probe, fan-out, retries, quarantine.
+"""DAG orchestration: cache probe, fan-out, retries, quarantine, degradation.
 
 :func:`execute_grid` drives a :class:`~repro.exec.plan.GridPlan` to
 completion:
@@ -9,10 +9,24 @@ completion:
    task is dispatched to the worker pool, and its simulation tasks are
    released the moment the trace lands (no barrier between workloads);
 3. every task attempt is wrapped with an optional timeout, bounded retry
-   with exponential backoff, and worker-crash recovery.  A task that
-   exhausts its retries is *quarantined* — recorded in telemetry and
-   skipped — so one poisoned cell can never hang or abort the rest of
-   the grid.  Quarantining a trace task quarantines its dependent sims.
+   with exponential backoff, and worker-crash recovery.  Failures are
+   classified (:func:`repro.common.errors.classify_error`): permanent
+   failures skip the retry budget and quarantine immediately; transient
+   ones retry with backoff.  A task that exhausts its retries is
+   *quarantined* — recorded in telemetry and skipped — so one poisoned
+   cell can never hang or abort the rest of the grid.  Quarantining a
+   trace task quarantines its dependent sims.
+4. a per-workload **circuit breaker** counts quarantined simulations;
+   at ``options.breaker_threshold`` the workload is marked DEGRADED and
+   its remaining cells are skipped, letting the grid complete with
+   explicit holes instead of burning the retry budget cell by cell.
+
+Durability: when a :class:`~repro.exec.journal.RunJournal` is supplied,
+every outcome (cache hit, completed task, quarantine, degradation) is
+appended to it with an fsync, and a prior run's
+:class:`~repro.exec.journal.RunReplay` can be *carried* in: completed
+cells replay through the cache, and quarantine/degradation decisions are
+preserved instead of re-attempted.
 
 ``jobs=1`` runs everything in-process (no pool, no pickling) through the
 same cache/telemetry bookkeeping, so serial runs stay bit-identical to
@@ -29,9 +43,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping
 
-from repro.common.errors import ExecError
+from repro.common.errors import (
+    ErrorKind,
+    ExecError,
+    PermanentError,
+    classify_error,
+)
+from repro.exec import faults
 from repro.exec import telemetry as telemetry_module
 from repro.exec.cache import ResultCache
+from repro.exec.journal import RunJournal, RunReplay
 from repro.exec.keys import short_digest
 from repro.exec.plan import GridPlan, SimNode
 from repro.exec.pool import (
@@ -63,18 +84,96 @@ class ExecOptions:
             an in-process task cannot be interrupted).  None disables.
         max_retries: failed attempts beyond the first before a task is
             quarantined (so a task runs at most ``1 + max_retries`` times).
+            Permanent failures ignore this and quarantine immediately.
         retry_backoff: base sleep before a retry; doubles per attempt.
+        breaker_threshold: quarantined simulations after which a
+            workload trips its circuit breaker and is marked DEGRADED
+            (its remaining cells are skipped).  ``0`` disables the
+            breaker.
     """
 
     jobs: int | None = None
     timeout: float | None = None
     max_retries: int = 2
     retry_backoff: float = 0.05
+    breaker_threshold: int = 3
 
     def effective_jobs(self) -> int:
         if self.jobs is None:
             return os.cpu_count() or 1
         return max(1, self.jobs)
+
+
+class _GridState:
+    """Failure-policy bookkeeping shared by the serial and pool paths."""
+
+    def __init__(
+        self,
+        plan: GridPlan,
+        options: ExecOptions,
+        telemetry: ExecTelemetry,
+        journal: RunJournal | None,
+        carried: RunReplay | None,
+    ) -> None:
+        self.plan = plan
+        self.options = options
+        self.telemetry = telemetry
+        self.journal = journal
+        self.breaker: dict[str, int] = {}
+        self.degraded: dict[str, str] = {}
+        if carried is not None:
+            for workload, reason in carried.degraded.items():
+                self.degraded[workload] = reason or "carried from prior run"
+
+    def journal_done(self, node: SimNode, source: str) -> None:
+        if self.journal is not None:
+            self.journal.task_done(
+                node.name, "sim", cell=node.cell,
+                key=node.key(self.plan.config), source=source,
+            )
+
+    def journal_trace_done(self, name: str) -> None:
+        if self.journal is not None:
+            self.journal.task_done(name, "trace")
+
+    def quarantine(self, name: str, kind: str, reason: str, attempts: int,
+                   classification: str,
+                   cell: tuple[str, str] | None = None) -> None:
+        self.telemetry.quarantine(name, kind, reason, attempts,
+                                  classification)
+        if self.journal is not None:
+            self.journal.task_quarantined(name, kind, reason, attempts,
+                                          classification, cell=cell)
+
+    def record_sim_failure(self, workload: str) -> bool:
+        """Count one quarantined sim; True if the breaker just tripped."""
+        count = self.breaker.get(workload, 0) + 1
+        self.breaker[workload] = count
+        threshold = self.options.breaker_threshold
+        if threshold > 0 and count >= threshold and workload not in self.degraded:
+            reason = (f"{count} simulation(s) quarantined "
+                      f"(breaker threshold {threshold})")
+            self.degrade(workload, reason, count)
+            return True
+        return False
+
+    def degrade(self, workload: str, reason: str, failures: int) -> None:
+        if workload in self.degraded:
+            return
+        self.degraded[workload] = reason
+        self.telemetry.degrade(workload, reason, failures)
+        if self.journal is not None:
+            self.journal.workload_degraded(workload, reason, failures)
+
+    def skip_degraded(self, node: SimNode) -> None:
+        """Drop one pending sim of a degraded workload (no attempts)."""
+        self.telemetry.tasks_queued = max(0, self.telemetry.tasks_queued - 1)
+        self.quarantine(
+            node.name, "sim",
+            f"workload {node.workload} is DEGRADED: "
+            f"{self.degraded[node.workload]}",
+            0, "degraded", cell=node.cell,
+        )
 
 
 def execute_grid(
@@ -88,11 +187,14 @@ def execute_grid(
     progress: Progress | None = None,
     stats_path: str | Path | None = None,
     telemetry: ExecTelemetry | None = None,
+    journal: RunJournal | None = None,
+    carried: RunReplay | None = None,
 ) -> tuple[dict[tuple[str, str], SimResult], ExecTelemetry]:
     """Execute a grid plan; returns (results by cell, telemetry).
 
-    Quarantined cells are *absent* from the result mapping and listed in
-    ``telemetry.quarantined`` — the caller decides whether that is fatal.
+    Quarantined and degraded cells are *absent* from the result mapping
+    and listed in ``telemetry.quarantined`` / ``telemetry.degraded`` —
+    the caller decides whether that is fatal.
 
     Args:
         cache: result cache; probed before scheduling, filled after.
@@ -103,6 +205,10 @@ def execute_grid(
             trace caches.
         inject: test-only fault injection per (workload, prefetcher).
         stats_path: where to persist the telemetry JSON snapshot.
+        journal: write-ahead run journal; every outcome is appended.
+        carried: a prior run's replayed state (``--resume``): completed
+            cells count as resumed when the cache still holds them, and
+            quarantine/degradation decisions carry forward.
     """
     options = options or ExecOptions()
     jobs = options.effective_jobs()
@@ -110,28 +216,62 @@ def execute_grid(
         telemetry = ExecTelemetry()
     telemetry.jobs = jobs
 
+    state = _GridState(plan, options, telemetry, journal, carried)
+    carried_completed = carried.completed if carried is not None else {}
+    carried_quarantined = (carried.quarantined_cells if carried is not None
+                           else set())
+
     results: dict[tuple[str, str], SimResult] = {}
     misses: list[SimNode] = []
     for node in plan.sim_nodes:
+        if node.workload in state.degraded:
+            state.quarantine(
+                node.name, "sim",
+                f"workload {node.workload} was DEGRADED in the resumed run: "
+                f"{state.degraded[node.workload]}",
+                0, "degraded", cell=node.cell,
+            )
+            continue
+        if node.cell in carried_quarantined:
+            state.breaker[node.workload] = (
+                state.breaker.get(node.workload, 0) + 1
+            )
+            state.quarantine(
+                node.name, "sim",
+                "quarantined in the resumed run; not re-attempted",
+                0, "carried", cell=node.cell,
+            )
+            continue
         if cache is not None:
             hit = cache.get(node.key(plan.config))
             if hit is not None:
                 telemetry.cache_hits += 1
+                if node.cell in carried_completed:
+                    telemetry.resumed_cells += 1
                 results[node.cell] = hit
+                state.journal_done(node, source="cache")
                 if progress is not None:
                     progress(*node.cell)
                 continue
             telemetry.cache_misses += 1
+            if node.cell in carried_completed:
+                # The journal says this cell finished, but its cached
+                # artifact is gone or failed verification — demote to a
+                # rebuild instead of trusting a phantom result.
+                telemetry_module.logger.warning(
+                    "journal records %s complete but the cache cannot "
+                    "replay it; re-executing", node.name,
+                )
         misses.append(node)
 
     try:
         if misses:
             if jobs <= 1:
-                _run_serial(plan, misses, results, cache, telemetry,
+                _run_serial(plan, misses, results, cache, state,
                             trace_provider, dict(inject or {}), options,
                             progress)
             else:
-                _run_pool(plan, misses, results, cache, telemetry,
+                _run_pool(plan, misses, results, cache, state,
                           trace_dir, dict(inject or {}), options, progress,
                           jobs)
     finally:
@@ -159,7 +299,7 @@ def _run_serial(
     misses: list[SimNode],
     results: dict[tuple[str, str], SimResult],
     cache: ResultCache | None,
-    telemetry: ExecTelemetry,
+    state: _GridState,
     trace_provider: Callable[[str], Trace] | None,
     inject: dict[tuple[str, str], InjectSpec],
     options: ExecOptions,
@@ -167,6 +307,7 @@ def _run_serial(
 ) -> None:
     from repro.harness.registry import make_prefetcher
 
+    telemetry = state.telemetry
     groups = _group_by_workload(misses)
     telemetry.task_queued(len(groups) + len(misses))
     for workload, nodes in groups.items():
@@ -183,30 +324,35 @@ def _run_serial(
                 )
         except Exception as error:
             telemetry.task_failed_attempt()
-            telemetry.quarantine(trace_node.name, "trace", str(error), 1)
+            kind = classify_error(error)
+            state.quarantine(trace_node.name, "trace", str(error), 1,
+                             kind.value)
+            state.degrade(workload, f"trace build failed: {error}", 1)
             for node in nodes:
                 telemetry.tasks_queued = max(0, telemetry.tasks_queued - 1)
-                telemetry.quarantine(
+                state.quarantine(
                     node.name, "sim",
                     f"trace build for {workload} was quarantined", 0,
+                    "degraded", cell=node.cell,
                 )
             continue
         telemetry.traces_built += 1
         telemetry.task_finished(trace_node.name, "trace",
                                 time.perf_counter() - started, 1)
+        state.journal_trace_done(trace_node.name)
 
         for node in nodes:
+            if node.workload in state.degraded:
+                state.skip_degraded(node)
+                continue
             spec = inject.get(node.cell)
+            counter = [0]
             attempts = 0
             while True:
                 telemetry.task_started()
                 started = time.perf_counter()
                 try:
-                    if spec is not None and attempts < spec.times:
-                        raise ExecError(
-                            f"injected failure (attempt {attempts + 1} of "
-                            f"{spec.times})"
-                        )
+                    _apply_serial_injection(spec, counter)
                     result = simulate(
                         plan.config, make_prefetcher(node.prefetcher), trace
                     )
@@ -214,9 +360,13 @@ def _run_serial(
                 except Exception as error:
                     telemetry.task_failed_attempt()
                     attempts += 1
-                    if attempts > options.max_retries:
-                        telemetry.quarantine(node.name, "sim", str(error),
-                                             attempts)
+                    error_kind = classify_error(error)
+                    permanent = error_kind is ErrorKind.PERMANENT
+                    if permanent or attempts > options.max_retries:
+                        state.quarantine(node.name, "sim", str(error),
+                                         attempts, error_kind.value,
+                                         cell=node.cell)
+                        state.record_sim_failure(node.workload)
                         break
                     telemetry.retries += 1
                     time.sleep(options.retry_backoff * (2 ** (attempts - 1)))
@@ -228,9 +378,32 @@ def _run_serial(
                 results[node.cell] = result
                 if cache is not None:
                     cache.put(node.key(plan.config), result)
+                state.journal_done(node, source="run")
                 if progress is not None:
                     progress(*node.cell)
+                faults.check("task-done")
                 break
+
+
+def _apply_serial_injection(spec: InjectSpec | None, counter: list[int]) -> None:
+    """Honour an in-process injection spec.
+
+    Only the raise modes are meaningful in-process: ``crash`` and
+    ``hang`` would take the caller down with them, so (as documented on
+    :class:`InjectSpec`) they are ignored on the serial path.
+    """
+    if spec is None or counter[0] >= spec.times:
+        return
+    counter[0] += 1
+    if spec.mode == "raise-permanent":
+        raise PermanentError(
+            f"injected permanent failure (attempt {counter[0]} of "
+            f"{spec.times})"
+        )
+    if spec.mode == "raise":
+        raise ExecError(
+            f"injected failure (attempt {counter[0]} of {spec.times})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -258,13 +431,14 @@ def _run_pool(
     misses: list[SimNode],
     results: dict[tuple[str, str], SimResult],
     cache: ResultCache | None,
-    telemetry: ExecTelemetry,
+    state: _GridState,
     trace_dir: str | Path | None,
     inject: dict[tuple[str, str], InjectSpec],
     options: ExecOptions,
     progress: Progress | None,
     jobs: int,
 ) -> None:
+    telemetry = state.telemetry
     temporary = (tempfile.TemporaryDirectory(prefix="repro-exec-")
                  if trace_dir is None else None)
     trace_root = Path(temporary.name if temporary else trace_dir)
@@ -282,34 +456,69 @@ def _run_pool(
     _probing = [False]  # True while the single in-flight task is a suspect
     sim_keys = {node.cell: node.key(plan.config) for node in misses}
 
-    def submit(state: _TaskState) -> None:
+    def submit(task: _TaskState) -> None:
         telemetry.task_started()
         try:
-            state.future = pool.submit(state.fn, state.payload)
+            task.future = pool.submit(task.fn, task.payload)
         except Exception:
             # The executor broke between our crash detection and this
             # submission; rebuild it once and retry.
             pool.restart()
-            state.future = pool.submit(state.fn, state.payload)
-        state.submitted_at = time.monotonic()
+            task.future = pool.submit(task.fn, task.payload)
+        task.submitted_at = time.monotonic()
 
-    def dispatch(state: _TaskState) -> None:
+    def dispatch(task: _TaskState) -> None:
         """Run a task: immediately, or queued behind the serial probe."""
+        if task.kind == "sim" and task.workload in state.degraded:
+            telemetry.tasks_queued = max(0, telemetry.tasks_queued - 1)
+            state.quarantine(
+                task.name, "sim",
+                f"workload {task.workload} is DEGRADED: "
+                f"{state.degraded[task.workload]}",
+                task.attempts, "degraded", cell=task.cell,
+            )
+            return
         if probe_queue or _probing[0]:
-            probe_queue.append(state)
+            probe_queue.append(task)
         else:
-            submit(state)
-            active.append(state)
+            submit(task)
+            active.append(task)
 
-    def quarantine(state: _TaskState, reason: str) -> None:
-        telemetry.quarantine(state.name, state.kind, reason, state.attempts)
-        if state.kind == "trace":
-            for node in waiting.pop(state.workload, []):
+    def quarantine(task: _TaskState, reason: str,
+                   classification: str) -> None:
+        state.quarantine(task.name, task.kind, reason, task.attempts,
+                         classification, cell=task.cell)
+        if task.kind == "trace":
+            state.degrade(task.workload, f"trace build failed: {reason}",
+                          task.attempts)
+            for node in waiting.pop(task.workload, []):
                 telemetry.tasks_queued = max(0, telemetry.tasks_queued - 1)
-                telemetry.quarantine(
+                state.quarantine(
                     node.name, "sim",
-                    f"trace build for {state.workload} was quarantined", 0,
+                    f"trace build for {task.workload} was quarantined", 0,
+                    "degraded", cell=node.cell,
                 )
+        else:
+            if state.record_sim_failure(task.workload):
+                _drop_degraded_pending(task.workload)
+
+    def _drop_degraded_pending(workload: str) -> None:
+        """Skip every not-yet-running sim of a freshly degraded workload."""
+        for node in waiting.pop(workload, []):
+            state.skip_degraded(node)
+        keep: list[_TaskState] = []
+        for queued in probe_queue:
+            if queued.kind == "sim" and queued.workload == workload:
+                telemetry.tasks_queued = max(0, telemetry.tasks_queued - 1)
+                state.quarantine(
+                    queued.name, "sim",
+                    f"workload {workload} is DEGRADED: "
+                    f"{state.degraded[workload]}",
+                    queued.attempts, "degraded", cell=queued.cell,
+                )
+            else:
+                keep.append(queued)
+        probe_queue[:] = keep
 
     def make_sim_state(node: SimNode, trace_path: str) -> _TaskState:
         spec = inject.get(node.cell)
@@ -328,28 +537,34 @@ def _run_pool(
         return _TaskState("sim", node.name, node.workload, node.cell,
                           payload, execute_sim_task)
 
-    def complete(state: _TaskState, outcome) -> None:
-        if state.kind == "trace":
+    def complete(task: _TaskState, outcome) -> None:
+        if task.kind == "trace":
             if outcome.disk_hit:
                 telemetry.trace_disk_hits += 1
             else:
                 telemetry.traces_built += 1
             if outcome.rebuilt_corrupt:
                 telemetry.corrupt_traces += 1
-            telemetry.task_finished(state.name, "trace", outcome.seconds,
-                                    state.attempts + 1)
-            for node in waiting.pop(state.workload, []):
+            telemetry.task_finished(task.name, "trace", outcome.seconds,
+                                    task.attempts + 1)
+            state.journal_trace_done(task.name)
+            for node in waiting.pop(task.workload, []):
                 dispatch(make_sim_state(node, outcome.path))
         else:
             telemetry.sims_run += 1
-            telemetry.task_finished(state.name, "sim", outcome.seconds,
-                                    state.attempts + 1)
+            telemetry.task_finished(task.name, "sim", outcome.seconds,
+                                    task.attempts + 1)
             result = outcome.result
-            results[state.cell] = result
+            results[task.cell] = result
             if cache is not None:
-                cache.put(sim_keys[state.cell], result)
+                cache.put(sim_keys[task.cell], result)
+            if state.journal is not None:
+                state.journal.task_done(task.name, "sim", cell=task.cell,
+                                        key=sim_keys[task.cell],
+                                        source="run")
             if progress is not None:
-                progress(*state.cell)
+                progress(*task.cell)
+        faults.check("task-done")
 
     telemetry.task_queued(len(groups) + len(misses))
     for workload in groups:
@@ -361,51 +576,61 @@ def _run_pool(
             seed=node.seed,
             path=str(trace_root / node.filename),
         )
-        state = _TaskState("trace", node.name, workload, None, payload,
-                           execute_trace_task)
-        submit(state)
-        active.append(state)
+        task = _TaskState("trace", node.name, workload, None, payload,
+                          execute_trace_task)
+        submit(task)
+        active.append(task)
 
     try:
         while active or probe_queue:
             if not active and probe_queue:
                 # Pump the serial probe: exactly one suspect in flight,
                 # so a pool break now has an unambiguous culprit.
-                state = probe_queue.pop(0)
+                task = probe_queue.pop(0)
                 _probing[0] = True
-                submit(state)
-                active.append(state)
+                submit(task)
+                active.append(task)
 
-            futures = {state.future: state for state in active}
+            futures = {task.future: task for task in active}
             done, _ = wait(list(futures), timeout=0.25,
                            return_when=FIRST_COMPLETED)
             pool_broke = False
             for future in done:
-                state = futures[future]
+                task = futures[future]
                 try:
                     error = future.exception()
                 except CancelledError:
                     pool_broke = True
                     continue
                 if error is None:
-                    active.remove(state)
+                    active.remove(task)
                     _probing[0] = False
-                    complete(state, future.result())
+                    complete(task, future.result())
                 elif WorkerPool.is_pool_failure(error):
                     pool_broke = True
                 else:
-                    active.remove(state)
+                    active.remove(task)
                     _probing[0] = False
                     telemetry.task_failed_attempt()
-                    state.attempts += 1
-                    if state.attempts > options.max_retries:
-                        quarantine(state, str(error))
+                    task.attempts += 1
+                    error_kind = classify_error(error)
+                    if (error_kind is ErrorKind.PERMANENT
+                            or task.attempts > options.max_retries):
+                        quarantine(task, str(error), error_kind.value)
+                    elif (task.kind == "sim"
+                          and task.workload in state.degraded):
+                        state.quarantine(
+                            task.name, "sim",
+                            f"workload {task.workload} is DEGRADED: "
+                            f"{state.degraded[task.workload]}",
+                            task.attempts, "degraded", cell=task.cell,
+                        )
                     else:
                         telemetry.retries += 1
                         time.sleep(options.retry_backoff
-                                   * (2 ** (state.attempts - 1)))
+                                   * (2 ** (task.attempts - 1)))
                         telemetry.tasks_queued += 1
-                        dispatch(state)
+                        dispatch(task)
 
             if pool_broke:
                 # A worker died and every outstanding future died with
@@ -415,23 +640,23 @@ def _run_pool(
                 if len(active) == 1:
                     # Exactly one task was in flight (e.g. the serial
                     # probe): attribution is exact, so charge it.
-                    state = active.pop()
+                    task = active.pop()
                     _probing[0] = False
                     telemetry.task_failed_attempt()
-                    state.attempts += 1
-                    if state.attempts > options.max_retries:
-                        quarantine(state, "worker process died")
+                    task.attempts += 1
+                    if task.attempts > options.max_retries:
+                        quarantine(task, "worker process died", "poisoned")
                     else:
                         telemetry.retries += 1
                         time.sleep(options.retry_backoff
-                                   * (2 ** (state.attempts - 1)))
+                                   * (2 ** (task.attempts - 1)))
                         telemetry.tasks_queued += 1
-                        probe_queue.insert(0, state)
+                        probe_queue.insert(0, task)
                 else:
                     # Several tasks were in flight, so the culprit is
                     # unknown; move them all — uncharged — to the probe
                     # queue to be re-run one at a time.
-                    for state in active:
+                    for task in active:
                         telemetry.task_failed_attempt()
                         telemetry.tasks_queued += 1
                     probe_queue[:0] = active
@@ -441,8 +666,8 @@ def _run_pool(
             if options.timeout is not None and active:
                 now = time.monotonic()
                 expired = {
-                    state for state in active
-                    if now - state.submitted_at > options.timeout
+                    task for task in active
+                    if now - task.submitted_at > options.timeout
                 }
                 if expired:
                     # A hung task only dies with its worker, and the
@@ -453,19 +678,20 @@ def _run_pool(
                     _probing[0] = False
                     pending = active
                     active = []
-                    for state in pending:
+                    for task in pending:
                         telemetry.task_failed_attempt()
-                        if state in expired:
-                            state.attempts += 1
-                            if state.attempts > options.max_retries:
+                        if task in expired:
+                            task.attempts += 1
+                            if task.attempts > options.max_retries:
                                 quarantine(
-                                    state,
+                                    task,
                                     f"timed out after {options.timeout:.1f}s",
+                                    "poisoned",
                                 )
                                 continue
                             telemetry.retries += 1
                         telemetry.tasks_queued += 1
-                        dispatch(state)
+                        dispatch(task)
     finally:
         pool.shutdown()
         if temporary is not None:
@@ -479,4 +705,8 @@ def quarantine_report(telemetry: ExecTelemetry) -> str:
         f"attempt(s)): {entry['reason']}"
         for entry in telemetry.quarantined
     ]
+    for entry in telemetry.degraded:
+        lines.append(
+            f"  workload {entry['workload']} DEGRADED: {entry['reason']}"
+        )
     return "\n".join(lines)

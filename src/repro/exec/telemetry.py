@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -65,6 +66,9 @@ class ExecTelemetry:
     timeouts: int = 0
     worker_crashes: int = 0
     corrupt_traces: int = 0
+    corrupt_results: int = 0
+    resumed_cells: int = 0
+    degraded: list[dict[str, Any]] = field(default_factory=list)
     quarantined: list[dict[str, Any]] = field(default_factory=list)
     task_times: list[TaskTiming] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -91,13 +95,25 @@ class ExecTelemetry:
         self.tasks_running = max(0, self.tasks_running - 1)
 
     def quarantine(self, name: str, kind: str, reason: str,
-                   attempts: int) -> None:
+                   attempts: int, classification: str = "permanent") -> None:
         """Permanently give up on one poisoned task."""
-        logger.error("quarantined %s after %d attempt(s): %s",
-                     name, attempts, reason)
+        logger.error("quarantined %s after %d attempt(s) [%s]: %s",
+                     name, attempts, classification, reason)
         self.quarantined.append({
-            "task": name, "kind": kind, "reason": reason, "attempts": attempts,
+            "task": name, "kind": kind, "reason": reason,
+            "attempts": attempts, "class": classification,
         })
+
+    def degrade(self, workload: str, reason: str, failures: int) -> None:
+        """Trip the circuit breaker for one workload."""
+        logger.error("workload %s DEGRADED after %d permanent failure(s): %s",
+                     workload, failures, reason)
+        self.degraded.append({
+            "workload": workload, "reason": reason, "failures": failures,
+        })
+
+    def is_degraded(self, workload: str) -> bool:
+        return any(entry["workload"] == workload for entry in self.degraded)
 
     def finish(self) -> None:
         self.wall_seconds = time.perf_counter() - self._started
@@ -137,6 +153,12 @@ class ExecTelemetry:
             "timeouts": self.timeouts,
             "worker_crashes": self.worker_crashes,
             "corrupt_traces": self.corrupt_traces,
+            "corrupt_results": self.corrupt_results,
+            "resumed_cells": self.resumed_cells,
+            "degraded": len(self.degraded),
+            "degraded_workloads": [
+                entry["workload"] for entry in self.degraded
+            ],
             "quarantined": len(self.quarantined),
             "quarantined_tasks": [entry["task"] for entry in self.quarantined],
             "mean_task_seconds": self.mean_task_seconds(),
@@ -153,15 +175,29 @@ class ExecTelemetry:
     # -- persistence --------------------------------------------------------
 
     def persist(self, path: str | Path) -> None:
-        """Write a JSON snapshot (summary + per-task timings)."""
+        """Write a JSON snapshot (summary + per-task timings).
+
+        The write is atomic (temp file + fsync + ``os.replace``): a crash
+        mid-flush leaves the previous snapshot intact rather than a
+        truncated JSON file that would poison ``repro exec-stats``.
+        """
         document = {
             "summary": self.summary(),
             "quarantined": self.quarantined,
+            "degraded": self.degraded,
             "task_times": [asdict(timing) for timing in self.task_times],
         }
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(document, indent=2, sort_keys=True))
+        temporary = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        try:
+            with open(temporary, "w") as handle:
+                handle.write(json.dumps(document, indent=2, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, target)
+        finally:
+            temporary.unlink(missing_ok=True)
 
 
 def load_stats(path: str | Path) -> dict[str, Any]:

@@ -325,7 +325,9 @@ class Figure14Result:
 
     def speedup(self, workload: str, prefetcher: str) -> float:
         table = self.mi_table if workload in self.mi_table else self.low_table
-        return table[workload][prefetcher]
+        # DEGRADED cells are absent from the table; NaN renders as an
+        # explicit hole instead of raising.
+        return table[workload].get(prefetcher, float("nan"))
 
     def average_mi(self, prefetcher: str) -> float:
         return self.mi_table["average"][prefetcher]
@@ -339,14 +341,16 @@ class Figure14Result:
         for workload, values in self.mi_table.items():
             if workload == "average":
                 continue
-            rows.append([workload, *[values[p] for p in EVALUATED_PREFETCHERS]])
+            rows.append([workload, *[values.get(p, float("nan"))
+                                     for p in EVALUATED_PREFETCHERS]])
         rows.append([
             "average-MI", *[self.average_mi(p) for p in EVALUATED_PREFETCHERS]
         ])
         for workload, values in self.low_table.items():
             if workload == "average":
                 continue
-            rows.append([workload, *[values[p] for p in EVALUATED_PREFETCHERS]])
+            rows.append([workload, *[values.get(p, float("nan"))
+                                     for p in EVALUATED_PREFETCHERS]])
         rows.append([
             "average-ALL", *[self.average_all(p) for p in EVALUATED_PREFETCHERS]
         ])
@@ -377,7 +381,7 @@ class Figure15Result:
     table: dict[str, dict[str, float]]
 
     def perf_cost(self, workload: str, prefetcher: str) -> float:
-        return self.table[workload][prefetcher]
+        return self.table[workload].get(prefetcher, float("nan"))
 
     def average(self, prefetcher: str) -> float:
         return self.table["average"][prefetcher]
@@ -388,7 +392,8 @@ class Figure15Result:
         for workload, values in self.table.items():
             if workload == "average":
                 continue
-            rows.append([workload, *[values[p] for p in EVALUATED_PREFETCHERS]])
+            rows.append([workload, *[values.get(p, float("nan"))
+                                     for p in EVALUATED_PREFETCHERS]])
         rows.append([
             "average-MI", *[self.average(p) for p in EVALUATED_PREFETCHERS]
         ])

@@ -64,6 +64,8 @@ def write_json(grid: ResultGrid, path: str | Path, **metadata: Any) -> None:
         "prefetchers": grid.prefetchers,
         "results": grid_to_records(grid),
     }
+    if grid.degraded_cells:
+        document["degraded"] = [list(cell) for cell in grid.degraded_cells]
     Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
 
 

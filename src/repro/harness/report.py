@@ -7,7 +7,15 @@ rows it reproduces.
 
 from __future__ import annotations
 
+import math
+import time
 from typing import Mapping, Sequence
+
+#: How a cell the execution engine could not produce is rendered.  The
+#: scheduler marks such cells with NaN metrics (see
+#: :meth:`repro.sim.results.SimResult.degraded_cell`); every table they
+#: reach prints this marker instead of a misleading number.
+DEGRADED_MARKER = "DEGRADED"
 
 
 def format_table(
@@ -18,14 +26,17 @@ def format_table(
 ) -> str:
     """Render rows as an aligned table.
 
-    Floats are formatted with ``float_format``; everything else with
+    Floats are formatted with ``float_format``; NaN floats (degraded
+    grid cells) render as :data:`DEGRADED_MARKER`; everything else with
     ``str``.  The first column is left-aligned, the rest right-aligned.
     """
     rendered: list[list[str]] = []
     for row in rows:
         cells = []
         for value in row:
-            if isinstance(value, float):
+            if isinstance(value, float) and math.isnan(value):
+                cells.append(DEGRADED_MARKER)
+            elif isinstance(value, float):
                 cells.append(float_format.format(value))
             else:
                 cells.append(str(value))
@@ -78,6 +89,9 @@ _EXEC_STAT_ROWS = [
     ("timeouts", "timeouts", "{:d}"),
     ("worker_crashes", "worker crashes", "{:d}"),
     ("corrupt_traces", "corrupt traces rebuilt", "{:d}"),
+    ("corrupt_results", "corrupt results rebuilt", "{:d}"),
+    ("resumed_cells", "cells resumed from journal", "{:d}"),
+    ("degraded", "workloads degraded", "{:d}"),
     ("quarantined", "tasks quarantined", "{:d}"),
     ("mean_task_seconds", "mean task seconds", "{:.3f}"),
     ("eta_seconds", "eta seconds", "{:.1f}"),
@@ -96,11 +110,52 @@ def format_exec_stats(summary: Mapping[str, object]) -> str:
     for key, label, fmt in _EXEC_STAT_ROWS:
         if key in summary:
             rows.append([label, fmt.format(summary[key])])
+    for name in summary.get("degraded_workloads") or []:
+        rows.append(["degraded workload", str(name)])
     quarantined = summary.get("quarantined_tasks") or []
     for name in quarantined:
         rows.append(["quarantined task", str(name)])
     return format_table(["statistic", "value"], rows,
                         title="Grid execution statistics")
+
+
+def format_run_list(summaries: Sequence[object]) -> str:
+    """Render ``repro runs list`` rows.
+
+    Accepts :class:`repro.exec.journal.RunSummary` objects (duck-typed
+    so older snapshots and tests can pass simple namespaces).
+    """
+    rows: list[list[object]] = []
+    for summary in summaries:
+        started = getattr(summary, "started_at", None)
+        stamp = (
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(started))
+            if started else "-"
+        )
+        rows.append([
+            getattr(summary, "run_id", "?"),
+            getattr(summary, "status", "?"),
+            f"{getattr(summary, 'cells_done', 0)}"
+            f"/{getattr(summary, 'cells_total', 0)}",
+            getattr(summary, "degraded", 0),
+            getattr(summary, "quarantined", 0),
+            getattr(summary, "torn_lines", 0),
+            stamp,
+        ])
+    return format_table(
+        ["run", "status", "cells", "degraded", "quarantined", "torn",
+         "started"],
+        rows,
+        title="Journaled runs",
+    )
+
+
+def format_degraded_cells(cells: Sequence[tuple[str, str]]) -> str:
+    """One-line-per-cell listing of the grid's explicit holes."""
+    return "\n".join(
+        f"  DEGRADED cell: workload={workload} prefetcher={prefetcher}"
+        for workload, prefetcher in cells
+    )
 
 
 def format_mapping(

@@ -66,7 +66,19 @@ class GridRunner:
             when ``cache_dir`` is set; ``False`` disables it; a path
             uses that directory directly.
         exec_options: base :class:`repro.exec.ExecOptions` (timeout,
-            retry policy) for delegated grid runs; ``jobs`` above wins.
+            retry policy, breaker threshold) for delegated grid runs;
+            ``jobs`` above wins.
+        run_id: explicit identifier for the write-ahead run journal
+            (default: a fresh timestamped id per grid run).  Journals
+            live under ``cache_dir/runs/<run_id>/journal.jsonl`` and are
+            only written when a cache directory exists.
+        resume: id of a journaled prior run to resume — its completed
+            cells replay through the result cache and its quarantine /
+            degradation decisions carry forward.  The resumed journal's
+            fingerprint must match this runner's grid request.
+        strict: raise :class:`ExecError` when any cell is quarantined
+            (the historical behaviour).  The default is lenient: the
+            grid completes with explicit DEGRADED holes.
     """
 
     def __init__(
@@ -79,6 +91,9 @@ class GridRunner:
         jobs: int | None = 1,
         result_cache: bool | str | Path | None = None,
         exec_options: "object | None" = None,
+        run_id: str | None = None,
+        resume: str | None = None,
+        strict: bool = False,
     ) -> None:
         self.config = config
         self.scale = scale
@@ -87,6 +102,12 @@ class GridRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.jobs = jobs
         self.exec_options = exec_options
+        self.run_id = run_id
+        self.resume = resume
+        self.strict = strict
+        #: id of the most recent journaled grid run (for reporting).
+        self.last_run_id: str | None = None
+        self._grid_runs = 0
         if result_cache is False:
             self._result_cache_root: Path | None = None
         elif result_cache in (None, True):
@@ -216,6 +237,7 @@ class GridRunner:
         progress: Callable[[str, str], None] | None,
     ) -> ResultGrid:
         from repro.exec import ExecOptions, GridPlan, ResultCache
+        from repro.exec import journal as journal_module
         from repro.exec.scheduler import execute_grid, quarantine_report
 
         cells = [(w, p) for w in workloads for p in prefetchers]
@@ -227,28 +249,123 @@ class GridRunner:
                 timeout=base.timeout,
                 max_retries=base.max_retries,
                 retry_backoff=base.retry_backoff,
+                breaker_threshold=base.breaker_threshold,
             )
             plan = GridPlan(todo, self.scale, self.budget_fraction,
                             self.seed, self.config)
             cache = (ResultCache(self._result_cache_root)
                      if self._result_cache_root is not None else None)
-            executed, telemetry = execute_grid(
-                plan,
-                options=options,
-                cache=cache,
-                trace_dir=self.cache_dir,
-                trace_provider=self.trace if jobs <= 1 else None,
-                progress=progress,
-                stats_path=self._stats_path(),
-            )
-            if telemetry.quarantined:
-                raise ExecError(
-                    "grid execution quarantined "
-                    f"{len(telemetry.quarantined)} task(s):\n"
-                    + quarantine_report(telemetry)
+            journal, carried, run_id = self._open_journal(cells, jobs)
+            try:
+                executed, telemetry = execute_grid(
+                    plan,
+                    options=options,
+                    cache=cache,
+                    trace_dir=self.cache_dir,
+                    trace_provider=self.trace if jobs <= 1 else None,
+                    progress=progress,
+                    stats_path=self._stats_path(),
+                    journal=journal,
+                    carried=carried,
                 )
-            self._results.update(executed)
-        return ResultGrid(self._results[cell] for cell in cells)
+                self._results.update(executed)
+                missing = [c for c in cells if c not in self._results]
+                if self.strict and telemetry.quarantined:
+                    if journal is not None:
+                        journal.run_finished(
+                            "failed",
+                            cells_done=len(executed),
+                            quarantined=len(telemetry.quarantined),
+                        )
+                    raise ExecError(
+                        "grid execution quarantined "
+                        f"{len(telemetry.quarantined)} task(s):\n"
+                        + quarantine_report(telemetry)
+                    )
+                if journal is not None:
+                    journal.run_finished(
+                        "degraded" if missing else "complete",
+                        cells_done=len(executed),
+                        quarantined=len(telemetry.quarantined),
+                    )
+            finally:
+                if journal is not None:
+                    journal.close()
+            self.last_run_id = run_id
+        missing = [cell for cell in cells if cell not in self._results]
+        return ResultGrid(
+            (self._results[cell] for cell in cells
+             if cell in self._results),
+            degraded=missing,
+        )
+
+    def _open_journal(
+        self, cells: list[tuple[str, str]], jobs: int
+    ) -> tuple["object | None", "object | None", str | None]:
+        """(journal, carried replay, run id) for one delegated grid run.
+
+        Journals need a durable home: without a cache directory (or a
+        result-cache root to sit next to) no journal is written and
+        ``resume`` is an error.  The fingerprint check makes resuming a
+        journal into a *different* grid request fail loudly instead of
+        silently mixing results.
+        """
+        from repro.exec.journal import (
+            RunJournal,
+            load_run,
+            new_run_id,
+            run_fingerprint,
+        )
+
+        runs_root = self._runs_root()
+        fingerprint = run_fingerprint(
+            cells, self.scale, self.budget_fraction, self.seed, self.config
+        )
+        self._grid_runs += 1
+        if self.resume is not None and self._grid_runs == 1:
+            if runs_root is None:
+                raise ExecError(
+                    "resuming a run requires a cache directory to hold "
+                    "the run journal"
+                )
+            carried = load_run(runs_root, self.resume)
+            if carried.fingerprint != fingerprint:
+                from repro.common.errors import JournalError
+
+                raise JournalError(
+                    f"run {self.resume!r} was journaled for a different "
+                    f"grid (fingerprint {carried.fingerprint} != "
+                    f"{fingerprint}); refusing to mix results"
+                )
+            run_id = carried.run_id or self.resume
+            journal = RunJournal.for_run(runs_root, run_id)
+            journal.append("run-resumed", run_id=run_id)
+            return journal, carried, run_id
+        if runs_root is None:
+            return None, None, None
+        if self.run_id is not None:
+            run_id = (self.run_id if self._grid_runs == 1
+                      else f"{self.run_id}-{self._grid_runs}")
+        else:
+            run_id = new_run_id()
+        journal = RunJournal.for_run(runs_root, run_id)
+        journal.run_started(
+            run_id, fingerprint, cells,
+            scale=self.scale,
+            budget_fraction=self.budget_fraction,
+            seed=self.seed,
+            jobs=jobs,
+        )
+        return journal, None, run_id
+
+    def _runs_root(self) -> Path | None:
+        from repro.exec.journal import RUNS_DIRNAME
+
+        if self.cache_dir is not None:
+            return self.cache_dir / RUNS_DIRNAME
+        if self._result_cache_root is not None:
+            return self._result_cache_root.parent / RUNS_DIRNAME
+        return None
 
     def _stats_path(self) -> Path | None:
         if self.cache_dir is not None:

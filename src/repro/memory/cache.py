@@ -41,6 +41,16 @@ class CacheConfig:
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.associativity <= 0:
             raise ConfigError(f"cache '{self.name}': size and ways must be positive")
+        if self.latency < 1:
+            raise ConfigError(
+                f"cache '{self.name}': latency must be at least one cycle, "
+                f"got {self.latency}"
+            )
+        if self.mshrs < 1:
+            raise ConfigError(
+                f"cache '{self.name}': needs at least one MSHR, "
+                f"got {self.mshrs}"
+            )
         if not is_power_of_two(self.line_size):
             raise ConfigError(f"cache '{self.name}': line size must be a power of two")
         if self.size_bytes % (self.line_size * self.associativity) != 0:

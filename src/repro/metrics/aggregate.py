@@ -32,10 +32,23 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 class ResultGrid:
-    """A set of results indexed by (workload, prefetcher)."""
+    """A set of results indexed by (workload, prefetcher).
 
-    def __init__(self, results: Iterable[SimResult]) -> None:
+    Cells that execution could not produce (quarantined or
+    circuit-breaker DEGRADED) can be registered via ``degraded``: they
+    keep their place in the workload/prefetcher ordering, ``get``
+    returns an explicit NaN-metric placeholder for them (rendered as
+    ``DEGRADED`` by the report layer), and the averaging helpers skip
+    them so one broken workload cannot poison a mean.
+    """
+
+    def __init__(
+        self,
+        results: Iterable[SimResult],
+        degraded: Iterable[tuple[str, str]] = (),
+    ) -> None:
         self._by_key: dict[tuple[str, str], SimResult] = {}
+        self._degraded: dict[tuple[str, str], SimResult] = {}
         self.workloads: list[str] = []
         self.prefetchers: list[str] = []
         for result in results:
@@ -46,23 +59,51 @@ class ResultGrid:
                     f"prefetcher={result.prefetcher!r}"
                 )
             self._by_key[key] = result
-            if result.workload not in self.workloads:
-                self.workloads.append(result.workload)
-            if result.prefetcher not in self.prefetchers:
-                self.prefetchers.append(result.prefetcher)
+            self._remember_axes(result.workload, result.prefetcher)
+        for workload, prefetcher in degraded:
+            key = (workload, prefetcher)
+            if key in self._by_key:
+                continue
+            self._degraded[key] = SimResult.degraded_cell(workload, prefetcher)
+            self._remember_axes(workload, prefetcher)
+
+    def _remember_axes(self, workload: str, prefetcher: str) -> None:
+        if workload not in self.workloads:
+            self.workloads.append(workload)
+        if prefetcher not in self.prefetchers:
+            self.prefetchers.append(prefetcher)
 
     def get(self, workload: str, prefetcher: str) -> SimResult:
-        """The result for one grid cell; raises if missing."""
-        try:
-            return self._by_key[(workload, prefetcher)]
-        except KeyError:
-            raise ConfigError(
-                f"no result for workload={workload!r} prefetcher={prefetcher!r}"
-            ) from None
+        """The result for one grid cell; raises if missing.
+
+        Degraded cells return their placeholder (``result.degraded`` is
+        True and every metric is NaN) rather than raising, so report
+        code can render the hole explicitly.
+        """
+        key = (workload, prefetcher)
+        result = self._by_key.get(key)
+        if result is not None:
+            return result
+        placeholder = self._degraded.get(key)
+        if placeholder is not None:
+            return placeholder
+        raise ConfigError(
+            f"no result for workload={workload!r} prefetcher={prefetcher!r}"
+        )
 
     def has(self, workload: str, prefetcher: str) -> bool:
-        """True when a result exists for the cell."""
+        """True when a *real* result exists for the cell (not a
+        DEGRADED placeholder)."""
         return (workload, prefetcher) in self._by_key
+
+    def is_degraded(self, workload: str, prefetcher: str) -> bool:
+        """True when the cell is an explicit DEGRADED hole."""
+        return (workload, prefetcher) in self._degraded
+
+    @property
+    def degraded_cells(self) -> list[tuple[str, str]]:
+        """Every registered DEGRADED hole, in insertion order."""
+        return list(self._degraded)
 
     def column(self, prefetcher: str) -> list[SimResult]:
         """All results for one prefetcher, in workload order."""

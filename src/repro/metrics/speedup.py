@@ -34,6 +34,11 @@ def speedup_table(
     selected = list(workloads) if workloads is not None else grid.workloads
     table: dict[str, dict[str, float]] = {}
     for workload in selected:
+        if not grid.has(workload, baseline):
+            # A DEGRADED baseline leaves nothing to normalize against;
+            # the whole row becomes an explicit hole.
+            table[workload] = {}
+            continue
         table[workload] = {
             prefetcher: normalized_ipc(grid, workload, prefetcher, baseline)
             for prefetcher in grid.prefetchers

@@ -44,6 +44,13 @@ class CoreConfig:
             raise ConfigError("core width must be positive")
         if self.rob_entries <= 0:
             raise ConfigError("ROB must have at least one entry")
+        if self.l1_latency < 1 or self.l2_latency < 1 \
+                or self.memory_latency < 1:
+            raise ConfigError(
+                "latencies must be at least one cycle: got "
+                f"L1={self.l1_latency} L2={self.l2_latency} "
+                f"memory={self.memory_latency}"
+            )
         if not self.l1_latency <= self.l2_latency <= self.memory_latency:
             raise ConfigError(
                 "latencies must be monotone: L1 <= L2 <= memory"

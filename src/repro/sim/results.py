@@ -79,10 +79,22 @@ class SimResult:
     demand_bytes_read: int = 0
     prefetch_bytes_read: int = 0
     storage_bits: int = 0
+    #: True for the placeholder standing in for a cell the execution
+    #: engine could not produce (quarantined or circuit-breaker
+    #: DEGRADED).  Placeholder metrics are NaN, which the report layer
+    #: renders as ``DEGRADED``; placeholders are never cached.
+    degraded: bool = False
+
+    @classmethod
+    def degraded_cell(cls, workload: str, prefetcher: str) -> "SimResult":
+        """The explicit hole for a cell that failed permanently."""
+        return cls(workload=workload, prefetcher=prefetcher, degraded=True)
 
     @property
     def ipc(self) -> float:
         """Instructions per cycle."""
+        if self.degraded:
+            return float("nan")
         if self.cycles <= 0:
             return 0.0
         return self.instructions / self.cycles
@@ -90,24 +102,32 @@ class SimResult:
     @property
     def mpki(self) -> float:
         """Last-level-cache misses per kilo-instruction (Figure 12)."""
+        if self.degraded:
+            return float("nan")
         if self.instructions == 0:
             return 0.0
         return 1000.0 * self.llc_misses / self.instructions
 
     @property
-    def bytes_read(self) -> int:
+    def bytes_read(self) -> float:
         """Total bytes read from memory (Figure 15 denominator)."""
+        if self.degraded:
+            return float("nan")
         return self.demand_bytes_read + self.prefetch_bytes_read
 
     @property
     def accuracy(self) -> float:
         """Useful prefetches over all issued (classical accuracy metric)."""
+        if self.degraded:
+            return float("nan")
         if self.prefetches_issued == 0:
             return 0.0
         return self.useful_prefetches / self.prefetches_issued
 
     def class_fraction(self, demand_class: DemandClass) -> float:
         """One Figure 13 bar segment: class count / demand L2 accesses."""
+        if self.degraded:
+            return float("nan")
         if self.l1_misses == 0:
             return 0.0
         return self.classes[demand_class] / self.l1_misses
@@ -116,6 +136,8 @@ class SimResult:
     def wrong_fraction(self) -> float:
         """Wrong prefetches relative to demand L2 accesses (the Figure 13
         segment drawn above 100%)."""
+        if self.degraded:
+            return float("nan")
         if self.l1_misses == 0:
             return 0.0
         return self.wrong_prefetches / self.l1_misses
@@ -127,6 +149,11 @@ class SimResult:
         raw measured fields (no derived metrics) so that
         :meth:`from_dict` round-trips to an equal :class:`SimResult`.
         """
+        if self.degraded:
+            raise ConfigError(
+                f"cell ({self.workload!r}, {self.prefetcher!r}) is a "
+                "DEGRADED placeholder and cannot be serialized"
+            )
         return {
             "schema": RESULT_SCHEMA_VERSION,
             "workload": self.workload,

@@ -3,19 +3,30 @@
 The format is a small custom container:
 
 ``header``  — magic ``b"CBWS"``, version u16, name length u16, name bytes,
-              instruction total u64, event count u64.
+              instruction total u64, event count u64, payload CRC32 u32
+              (version ≥ 2).
 ``records`` — one tag byte per event followed by the event payload.
               Memory accesses store the icount *delta* from the previous
               event as a u32, which keeps files compact for long traces.
 
 Round-tripping is exact: ``read_trace(path)`` returns a trace equal to the
 one passed to ``write_trace``.
+
+Integrity: version 2 headers carry a CRC32 of the record section, so any
+truncation or bit flip in the payload is detected at read time and
+surfaces as :class:`TraceError` — which every cache-reading call site
+demotes to "discard and rebuild" via :func:`try_read_trace`.  Version 1
+files (no checksum) still read for backward compatibility.  Writes go
+through a temp file + ``os.replace`` so a crash mid-write can never leave
+a half-written file under the final name.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import struct
+import zlib
 from pathlib import Path
 from typing import BinaryIO
 
@@ -31,27 +42,32 @@ from repro.trace.events import (
 from repro.trace.stream import Trace
 
 _MAGIC = b"CBWS"
-_VERSION = 1
+_VERSION = 2
+_CHECKSUM_VERSIONS = (2,)
 
 _HEADER = struct.Struct("<4sHH")
 _COUNTS = struct.Struct("<QQ")
+_CRC = struct.Struct("<I")
 _MEM_RECORD = struct.Struct("<BIQQB")  # tag, icount delta, pc, address, is_write
 _BLOCK_RECORD = struct.Struct("<BII")  # tag, icount delta, block id
 
 
 def write_trace(trace: Trace, path: str | Path) -> None:
-    """Serialize ``trace`` to ``path`` in the CBWS binary format."""
-    with open(path, "wb") as handle:
-        _write(trace, handle)
+    """Serialize ``trace`` to ``path`` atomically (temp + rename + fsync)."""
+    path = Path(path)
+    temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(temporary, "wb") as handle:
+            _write(trace, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
 
 
-def _write(trace: Trace, handle: BinaryIO) -> None:
-    name_bytes = trace.name.encode("utf-8")
-    if len(name_bytes) > 0xFFFF:
-        raise TraceError(f"trace name too long to serialize: {trace.name!r}")
-    handle.write(_HEADER.pack(_MAGIC, _VERSION, len(name_bytes)))
-    handle.write(name_bytes)
-    handle.write(_COUNTS.pack(trace.instructions, len(trace.events)))
+def _pack_records(trace: Trace) -> bytes:
+    buffer = io.BytesIO()
     last_icount = 0
     for event in trace.events:
         delta = event.icount - last_icount
@@ -59,7 +75,7 @@ def _write(trace: Trace, handle: BinaryIO) -> None:
             raise TraceError("cannot serialize a trace with decreasing icount")
         last_icount = event.icount
         if event.kind == MEMORY_ACCESS:
-            handle.write(
+            buffer.write(
                 _MEM_RECORD.pack(
                     MEMORY_ACCESS,
                     delta,
@@ -69,11 +85,24 @@ def _write(trace: Trace, handle: BinaryIO) -> None:
                 )
             )
         elif event.kind in (BLOCK_BEGIN, BLOCK_END):
-            handle.write(
+            buffer.write(
                 _BLOCK_RECORD.pack(event.kind, delta, event.block_id)  # type: ignore[attr-defined]
             )
         else:
             raise TraceError(f"unknown event kind {event.kind}")
+    return buffer.getvalue()
+
+
+def _write(trace: Trace, handle: BinaryIO) -> None:
+    name_bytes = trace.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise TraceError(f"trace name too long to serialize: {trace.name!r}")
+    records = _pack_records(trace)
+    handle.write(_HEADER.pack(_MAGIC, _VERSION, len(name_bytes)))
+    handle.write(name_bytes)
+    handle.write(_COUNTS.pack(trace.instructions, len(trace.events)))
+    handle.write(_CRC.pack(zlib.crc32(records) & 0xFFFFFFFF))
+    handle.write(records)
 
 
 def read_trace(path: str | Path) -> Trace:
@@ -89,7 +118,7 @@ def _read(handle: BinaryIO) -> Trace:
     magic, version, name_length = _HEADER.unpack(header)
     if magic != _MAGIC:
         raise TraceError(f"bad magic {magic!r}; not a CBWS trace file")
-    if version != _VERSION:
+    if version not in (1, *_CHECKSUM_VERSIONS):
         raise TraceError(f"unsupported trace version {version}")
     name = handle.read(name_length).decode("utf-8")
     counts = handle.read(_COUNTS.size)
@@ -97,22 +126,37 @@ def _read(handle: BinaryIO) -> Trace:
         raise TraceError("truncated trace counts")
     instructions, event_count = _COUNTS.unpack(counts)
 
+    if version in _CHECKSUM_VERSIONS:
+        crc_bytes = handle.read(_CRC.size)
+        if len(crc_bytes) < _CRC.size:
+            raise TraceError("truncated trace checksum")
+        (expected_crc,) = _CRC.unpack(crc_bytes)
+        records = handle.read()
+        if zlib.crc32(records) & 0xFFFFFFFF != expected_crc:
+            raise TraceError(
+                f"trace payload checksum mismatch for {name!r}: the file "
+                "is truncated or corrupt"
+            )
+        body: BinaryIO = io.BytesIO(records)
+    else:
+        body = handle
+
     events = []
     icount = 0
     for _ in range(event_count):
-        tag_byte = handle.read(1)
+        tag_byte = body.read(1)
         if not tag_byte:
             raise TraceError("trace file truncated mid-stream")
         tag = tag_byte[0]
         if tag == MEMORY_ACCESS:
-            payload = handle.read(_MEM_RECORD.size - 1)
+            payload = body.read(_MEM_RECORD.size - 1)
             if len(payload) < _MEM_RECORD.size - 1:
                 raise TraceError("truncated memory access record")
             delta, pc, address, is_write = struct.unpack("<IQQB", payload)
             icount += delta
             events.append(MemoryAccess(icount, pc, address, bool(is_write)))
         elif tag in (BLOCK_BEGIN, BLOCK_END):
-            payload = handle.read(_BLOCK_RECORD.size - 1)
+            payload = body.read(_BLOCK_RECORD.size - 1)
             if len(payload) < _BLOCK_RECORD.size - 1:
                 raise TraceError("truncated block marker record")
             delta, block_id = struct.unpack("<II", payload)
@@ -128,13 +172,23 @@ def try_read_trace(path: str | Path) -> Trace | None:
     """Read a trace, returning None instead of raising on a bad file.
 
     Covers every way an on-disk cache entry can be unusable — truncated
-    mid-stream, garbage bytes, wrong version, unreadable — so callers can
-    treat all of them uniformly as "rebuild it".
+    mid-stream, garbage bytes, wrong version, checksum mismatch,
+    unreadable — so callers can treat all of them uniformly as
+    "rebuild it".
     """
     try:
         return read_trace(path)
     except (TraceError, OSError, UnicodeDecodeError, struct.error):
         return None
+
+
+def verify_trace_file(path: str | Path) -> str | None:
+    """Why a trace file is unusable, or None when it verifies cleanly."""
+    try:
+        read_trace(path)
+        return None
+    except (TraceError, OSError, UnicodeDecodeError, struct.error) as error:
+        return str(error)
 
 
 def trace_to_bytes(trace: Trace) -> bytes:

@@ -57,3 +57,25 @@ class TestValidation:
             PrefetchPathConfig(issue_interval=0)
         with pytest.raises(ConfigError):
             PrefetchPathConfig(max_in_flight=0)
+
+    def test_negative_latencies_rejected(self):
+        # Negative-but-monotone latencies must not slip through.
+        with pytest.raises(ConfigError, match="at least one cycle"):
+            CoreConfig(l1_latency=-5, l2_latency=30, memory_latency=300)
+        with pytest.raises(ConfigError, match="at least one cycle"):
+            CoreConfig(l1_latency=0)
+
+    def test_cache_geometry_validation(self):
+        from repro.memory.cache import CacheConfig
+
+        with pytest.raises(ConfigError, match="positive"):
+            CacheConfig(name="L1", size_bytes=0, associativity=4)
+        with pytest.raises(ConfigError, match="power of two"):
+            CacheConfig(name="L1", size_bytes=4096, associativity=4,
+                        line_size=48)
+        with pytest.raises(ConfigError, match="at least one cycle"):
+            CacheConfig(name="L1", size_bytes=4096, associativity=4,
+                        latency=0)
+        with pytest.raises(ConfigError, match="MSHR"):
+            CacheConfig(name="L1", size_bytes=4096, associativity=4,
+                        mshrs=0)

@@ -113,9 +113,23 @@ class TestErrorPaths:
             trace_from_bytes(b"CB")
 
     def test_unknown_tag_rejected(self):
+        import struct
+        import zlib
+
         data = bytearray(trace_to_bytes(simple_trace()))
-        # First record tag sits right after header + name + counts.
-        offset = 8 + len("example") + 16
+        # First record tag sits right after header + name + counts + CRC.
+        crc_offset = 8 + len("example") + 16
+        offset = crc_offset + 4
         data[offset] = 99
+        # Re-stamp the checksum so the tag check (not the CRC) fires.
+        data[crc_offset:offset] = struct.pack(
+            "<I", zlib.crc32(bytes(data[offset:])) & 0xFFFFFFFF
+        )
         with pytest.raises(TraceError, match="tag"):
+            trace_from_bytes(bytes(data))
+
+    def test_payload_corruption_caught_by_checksum(self):
+        data = bytearray(trace_to_bytes(simple_trace()))
+        data[-3] ^= 0x40  # flip one bit inside the record section
+        with pytest.raises(TraceError, match="checksum"):
             trace_from_bytes(bytes(data))
