@@ -27,6 +27,7 @@ import os
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.common.errors import ReproError
 from repro.harness.registry import PAPER_PREFETCHER_ORDER
 from repro.harness.runner import GridRunner
@@ -47,7 +48,16 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable repro.obs probes and print the phase/counter "
+             "profile after the command",
+    )
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_profile_argument(parser)
     parser.add_argument(
         "--budget-fraction", type=float, default=1.0,
         help="fraction of each workload's default access budget (default 1.0)",
@@ -306,6 +316,48 @@ def _cmd_verify_artifacts(args: argparse.Namespace) -> int:
     return 0 if args.purge else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import (
+        check_bench,
+        embed_baseline,
+        load_bench,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    document = run_bench(
+        quick=args.quick,
+        progress=(None if args.no_progress
+                  else lambda workload: print(f"  bench: {workload}",
+                                              file=sys.stderr)),
+        cache_phase=not args.no_cache_phase,
+    )
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = load_bench(args.baseline)
+        embed_baseline(document, baseline, path=args.baseline)
+
+    write_bench(document, args.out)
+    print(render_bench(document))
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        if baseline is None:
+            print("error: --check requires --baseline", file=sys.stderr)
+            return 2
+        problems = check_bench(document, baseline,
+                               tolerance=args.tolerance)
+        failures = [p for p in problems if not p.startswith("note:")]
+        for problem in problems:
+            print(f"bench check: {problem}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"bench check: OK (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     trace = read_trace(args.path)
     trace.validate()
@@ -378,6 +430,38 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("path")
     inspect_parser.set_defaults(handler=_cmd_inspect)
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="replay the pinned hot-path benchmark grid and emit "
+             "schema-versioned BENCH_sim_hotpath.json")
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="run the pinned quick subset (CI smoke) instead of the "
+             "full fig14 grid")
+    bench_parser.add_argument(
+        "--out", default="BENCH_sim_hotpath.json", metavar="PATH",
+        help="where to write the JSON document "
+             "(default BENCH_sim_hotpath.json)")
+    bench_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="prior BENCH_*.json to embed and compare against")
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on throughput regression beyond --tolerance "
+             "or on result-digest drift vs --baseline")
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional events/sec regression for --check "
+             "(default 0.30)")
+    bench_parser.add_argument(
+        "--no-cache-phase", action="store_true",
+        help="skip the cold/warm result-cache replay phase")
+    bench_parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-workload progress lines on stderr")
+    _add_profile_argument(bench_parser)
+    bench_parser.set_defaults(handler=_cmd_bench)
+
     stats_parser = subparsers.add_parser(
         "exec-stats",
         help="show telemetry of the last recorded grid execution")
@@ -409,11 +493,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     faults.install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        obs.enable()
     try:
-        return args.handler(args)
+        code = args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if profiling:
+        print()
+        print(obs.render())
+    return code
 
 
 if __name__ == "__main__":

@@ -49,10 +49,12 @@ class HistoryShiftRegister:
         self.depth = depth
         self.hash_bits = hash_bits
         self._values: deque[int] = deque(maxlen=depth)
+        self._tag_cache: dict[int, int] = {}
 
     def shift(self, hashed: int) -> None:
         """Shift in the newest hashed differential."""
         self._values.append(bit_select(hashed, self.hash_bits))
+        self._tag_cache.clear()
 
     def tag(self, tag_bits: int = 16) -> int:
         """XOR-fold the register contents into a table tag.
@@ -60,14 +62,24 @@ class HistoryShiftRegister:
         Matches the paper's indexing: the registers' bits "are xor-ed to
         provide a 16-bit tag".  Positions are salted so that histories
         that are permutations of each other produce different tags.
+
+        The fold is cached per ``tag_bits`` until the next shift/clear:
+        the predictor tags every register twice per block (pre-shift
+        training key, post-shift prediction probe), and the training key
+        equals the previous block's probe.
         """
+        cached = self._tag_cache.get(tag_bits)
+        if cached is not None:
+            return cached
         concatenated = 0
         for position, value in enumerate(self._values):
             concatenated |= value << (position * self.hash_bits)
         # Salt with the fill level so a 1-deep history differs from the
         # same value repeated.
         concatenated ^= len(self._values)
-        return fold_xor(concatenated, tag_bits)
+        folded = fold_xor(concatenated, tag_bits)
+        self._tag_cache[tag_bits] = folded
+        return folded
 
     @property
     def filled(self) -> bool:
@@ -80,6 +92,7 @@ class HistoryShiftRegister:
     def clear(self) -> None:
         """Reset to empty."""
         self._values.clear()
+        self._tag_cache.clear()
 
 
 class DifferentialHistoryTable:
@@ -101,6 +114,7 @@ class DifferentialHistoryTable:
             raise ConfigError("history table needs at least one entry")
         self.entries = entries
         self.tag_bits = tag_bits
+        self._tag_mask = mask(tag_bits)
         self._rng = rng or DeterministicRng(0xCB35)
         self._table: OrderedDict[int, tuple[int, ...]] = OrderedDict()
         self.lookups = 0
@@ -109,14 +123,14 @@ class DifferentialHistoryTable:
     def lookup(self, tag: int) -> tuple[int, ...] | None:
         """Probe the table; hit statistics feed the confidence policy."""
         self.lookups += 1
-        value = self._table.get(tag & mask(self.tag_bits))
+        value = self._table.get(tag & self._tag_mask)
         if value is not None:
             self.hits += 1
         return value
 
     def insert(self, tag: int, delta: Sequence[int]) -> None:
         """Store a differential under ``tag``, evicting randomly if full."""
-        key = tag & mask(self.tag_bits)
+        key = tag & self._tag_mask
         if key not in self._table and len(self._table) >= self.entries:
             victim = self._rng.choice(list(self._table.keys()))
             del self._table[victim]
@@ -133,7 +147,7 @@ class DifferentialHistoryTable:
         return len(self._table)
 
     def __contains__(self, tag: int) -> bool:
-        return (tag & mask(self.tag_bits)) in self._table
+        return (tag & self._tag_mask) in self._table
 
     def clear(self) -> None:
         """Drop all stored differentials and statistics."""

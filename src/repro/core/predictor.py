@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.bitops import bit_select, mask, sign_extend
+from repro.common.bitops import mask
 from repro.common.constants import (
     CBWS_HASH_BITS,
     CBWS_LINE_ADDR_BITS,
@@ -120,6 +120,11 @@ class CbwsPredictor:
         self._current_diffs: list[list[int]] = [[] for _ in range(config.max_step)]
         self._block_id: int | None = None
         self._line_mask = mask(config.line_addr_bits)
+        # Precomputed truncate/sign-extend constants for the per-access
+        # differential: sign_extend(bit_select(raw, b), b) is equivalent
+        # to ((raw & mask) ^ sign_bit) - sign_bit, with no calls.
+        self._stride_mask = mask(config.stride_bits)
+        self._stride_sign = 1 << (config.stride_bits - 1)
         #: Whether the most recent BLOCK_END produced at least one
         #: table-hit prediction; the hybrid policy keys off this.
         self.confident = False
@@ -157,17 +162,18 @@ class CbwsPredictor:
         if index is None:
             return  # repeated line, or the 16-entry buffer is full
         truncated = line & self._line_mask
-        for step in range(1, self.config.max_step + 1):
-            predecessor = self.last_blocks.get(step)
-            if predecessor is None or index >= len(predecessor):
+        stride_mask = self._stride_mask
+        stride_sign = self._stride_sign
+        current_diffs = self._current_diffs
+        # Predecessor k (1-based step) sits at deque position k-1; missing
+        # predecessors simply end the iteration.
+        for position, predecessor in enumerate(self.last_blocks._blocks):
+            if index >= len(predecessor):
                 continue
-            diffs = self._current_diffs[step - 1]
+            diffs = current_diffs[position]
             if len(diffs) == index:  # keep element positions aligned
-                raw = truncated - predecessor[index]
-                diffs.append(
-                    sign_extend(bit_select(raw, self.config.stride_bits),
-                                self.config.stride_bits)
-                )
+                raw = (truncated - predecessor[index]) & stride_mask
+                diffs.append((raw ^ stride_sign) - stride_sign)
 
     def block_end(self) -> list[int]:
         """BLOCK_END: train, rotate history, and predict future CBWSs.

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping
 
+from repro import obs
 from repro.common.errors import (
     ErrorKind,
     ExecError,
@@ -215,6 +216,7 @@ def execute_grid(
     if telemetry is None:
         telemetry = ExecTelemetry()
     telemetry.jobs = jobs
+    grid_started = time.perf_counter()
 
     state = _GridState(plan, options, telemetry, journal, carried)
     carried_completed = carried.completed if carried is not None else {}
@@ -279,6 +281,14 @@ def execute_grid(
         telemetry_module.LAST_RUN = telemetry
         if stats_path is not None:
             telemetry.persist(stats_path)
+        if obs.enabled():
+            obs.record_seconds("exec.grid",
+                               time.perf_counter() - grid_started)
+            obs.add("exec.cells", len(plan.sim_nodes))
+            obs.add("exec.cache_hits", telemetry.cache_hits)
+            obs.add("exec.cache_misses", telemetry.cache_misses)
+            obs.add("exec.sims_run", telemetry.sims_run)
+            obs.add("exec.traces_built", telemetry.traces_built)
     return results, telemetry
 
 

@@ -25,6 +25,14 @@ class AccessOutcome(Enum):
     MEMORY = "memory"
 
 
+#: Integer outcome codes returned by :meth:`CacheHierarchy.demand_access_fast`
+#: (the engine's hot loop branches on plain ints instead of enum members).
+FAST_L1_HIT = 0
+FAST_L2_HIT = 1
+FAST_L2_HIT_PREFETCH = 2
+FAST_MEMORY = 3
+
+
 @dataclass(frozen=True)
 class AccessResult:
     """Everything the engine needs to know about one demand access.
@@ -130,6 +138,76 @@ class CacheHierarchy:
             l1_evictions=tuple(l1_evictions),
             l2_eviction=l2_victim,
         )
+
+    def demand_access_fast(self, line: int, evictions: list[int]) -> int:
+        """Hot-loop variant of :meth:`demand_access`.
+
+        Returns a ``FAST_*`` outcome code and appends the *line numbers*
+        evicted from L1 (same order as ``AccessResult.l1_evictions``) to
+        ``evictions`` — the engine only ever consumes the line numbers,
+        so no per-access result object or record tuple is built.  All
+        cache-state mutations and statistics match :meth:`demand_access`
+        exactly; the two methods are interchangeable mid-simulation.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        l1 = self.l1
+        l2 = self.l2
+        l1_set = l1._sets[line & l1._index_mask]
+        l2_set = l2._sets[line & l2._index_mask]
+        if line in l1_set:
+            l1_set[line] = False
+            l1_set.move_to_end(line)
+            if line in l2_set:
+                l2_set[line] = False
+                l2_set.move_to_end(line)
+            return FAST_L1_HIT
+
+        stats.l1_misses += 1
+        if line in l2_set:
+            was_prefetch = l2_set[line]
+            if was_prefetch:
+                stats.useful_prefetch_hits += 1
+            l2_set[line] = False
+            l2_set.move_to_end(line)
+            victim = l1.insert(line)
+            if victim is not None:
+                evictions.append(victim.line)
+            return FAST_L2_HIT_PREFETCH if was_prefetch else FAST_L2_HIT
+
+        stats.l2_misses += 1
+        l2_victim = l2.insert(line)
+        if l2_victim is not None:
+            if l2_victim.was_prefetch:
+                stats.wrong_prefetch_evictions += 1
+            back = l1.invalidate(l2_victim.line)
+            if back is not None:
+                evictions.append(back.line)
+        l1_victim = l1.insert(line)
+        if l1_victim is not None:
+            evictions.append(l1_victim.line)
+        return FAST_MEMORY
+
+    def prefetch_fill_fast(self, line: int, evictions: list[int]) -> bool:
+        """Hot-loop variant of :meth:`prefetch_fill`.
+
+        Returns False when the line was already resident (redundant
+        prefetch); otherwise fills L2 and appends any back-invalidated
+        L1 line numbers to ``evictions``.  State effects match
+        :meth:`prefetch_fill` exactly.
+        """
+        l2 = self.l2
+        if line in l2._sets[line & l2._index_mask]:
+            return False
+        self.stats.prefetch_fills += 1
+        l2_victim = l2.insert(line, from_prefetch=True)
+        if l2_victim is not None:
+            if l2_victim.was_prefetch:
+                self.stats.wrong_prefetch_evictions += 1
+            back = self.l1.invalidate(l2_victim.line)
+            if back is not None:
+                evictions.append(back.line)
+        return True
 
     def prefetch_fill(self, line: int) -> AccessResult | None:
         """Install a completed prefetch into L2.

@@ -1,0 +1,64 @@
+"""Performance observability: phase timers and counters for the hot path.
+
+``repro.obs`` is the process-wide probe registry behind
+``repro run --profile`` and ``repro bench``.  Instrumented call sites —
+the simulation engine, trace build/load, and the execution scheduler —
+report *phases* (named wall-clock spans) and *counters* (named integer
+accumulators) here, and the CLI renders a profile report at the end of
+the command.
+
+Design constraints (in priority order):
+
+1. **Near-zero overhead when disabled.**  Probes are off by default;
+   hot loops must guard instrumentation behind a single
+   :func:`enabled` check hoisted out of the loop, and :func:`add` /
+   :func:`phase` themselves return immediately when disabled.
+2. **No clock reads unless enabled.**  ``perf_counter`` calls only
+   happen inside an enabled phase.
+3. **Deterministic simulation.**  Probes observe, never steer: nothing
+   in this package feeds back into simulated behaviour, so enabling
+   profiling cannot change a :class:`~repro.sim.results.SimResult`.
+
+API surface::
+
+    with obs.phase("trace.build"):        # context manager
+        ...
+    @obs.timed("exec.grid")               # decorator
+    def execute(...): ...
+    obs.add("sim.events", len(trace))     # counter
+    obs.enable(); obs.disable(); obs.reset()
+    obs.snapshot()                        # dict for JSON export
+    obs.render()                          # human-readable report
+"""
+
+from repro.obs.probe import (
+    PhaseStat,
+    ValueStat,
+    add,
+    disable,
+    enable,
+    enabled,
+    observe,
+    phase,
+    record_seconds,
+    reset,
+    snapshot,
+    timed,
+)
+from repro.obs.report import render
+
+__all__ = [
+    "PhaseStat",
+    "ValueStat",
+    "add",
+    "disable",
+    "enable",
+    "enabled",
+    "observe",
+    "phase",
+    "record_seconds",
+    "render",
+    "reset",
+    "snapshot",
+    "timed",
+]

@@ -1,0 +1,220 @@
+"""The probe registry: named phase timers and counters.
+
+State is process-global and guarded by a lock only on the slow paths
+(registration of a new name); recording into an existing stat is plain
+attribute arithmetic.  Worker processes of the execution pool start with
+probes disabled — grid-level observability aggregates in the parent via
+:mod:`repro.exec.telemetry`, and per-cell numbers come from
+``repro bench`` timing simulations in-process.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Iterator
+from contextlib import contextmanager
+
+#: Master switch.  Call sites may read this directly once per bulk
+#: operation (e.g. the engine reads it once per ``run``), so flipping it
+#: mid-operation affects only subsequent operations.
+_ENABLED = False
+
+_LOCK = threading.Lock()
+
+
+class PhaseStat:
+    """Aggregate of one named phase: count, total/min/max seconds."""
+
+    __slots__ = ("name", "count", "total_seconds", "min_seconds",
+                 "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one completed span into the aggregate."""
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (used by ``snapshot`` and the bench export)."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class ValueStat:
+    """Aggregate of one named value distribution (unitless samples)."""
+
+    __slots__ = ("name", "count", "total", "min_value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = 0.0
+
+    def record(self, value: float) -> None:
+        """Fold one sample into the aggregate."""
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (used by ``snapshot`` and the bench export)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value,
+        }
+
+
+_PHASES: dict[str, PhaseStat] = {}
+_COUNTERS: dict[str, float] = {}
+_VALUES: dict[str, ValueStat] = {}
+
+
+def enable() -> None:
+    """Turn probes on (``repro run --profile`` / ``repro bench``)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn probes off; recorded data is kept until :func:`reset`."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether probes are currently recording.
+
+    Hot loops should hoist this to a local before the loop rather than
+    calling :func:`add` per iteration.
+    """
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop all recorded phases and counters (keeps the enabled flag)."""
+    with _LOCK:
+        _PHASES.clear()
+        _COUNTERS.clear()
+        _VALUES.clear()
+
+
+def add(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` (no-op while disabled)."""
+    if not _ENABLED:
+        return
+    try:
+        _COUNTERS[name] += value
+    except KeyError:
+        with _LOCK:
+            _COUNTERS[name] = _COUNTERS.get(name, 0) + value
+
+
+def record_seconds(name: str, seconds: float) -> None:
+    """Record one completed span for phase ``name`` (no-op while disabled).
+
+    For call sites that already measured a duration themselves (the
+    engine times its run with a single pair of clock reads) and only
+    need to publish it.
+    """
+    if not _ENABLED:
+        return
+    stat = _PHASES.get(name)
+    if stat is None:
+        with _LOCK:
+            stat = _PHASES.setdefault(name, PhaseStat(name))
+    stat.record(seconds)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample of value distribution ``name`` (no-op while disabled).
+
+    For unitless gauges sampled over time — e.g. prefetch-queue occupancy
+    at each enqueue — where min/mean/max matter, not a running sum.
+    """
+    if not _ENABLED:
+        return
+    stat = _VALUES.get(name)
+    if stat is None:
+        with _LOCK:
+            stat = _VALUES.setdefault(name, ValueStat(name))
+    stat.record(value)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Context manager timing one span of phase ``name``.
+
+    Disabled probes skip the clock reads entirely; the only residual
+    cost is the generator frame.
+    """
+    if not _ENABLED:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_seconds(name, time.perf_counter() - started)
+
+
+def timed(name: str) -> Callable[[Callable], Callable]:
+    """Decorator form of :func:`phase` for whole-function spans."""
+
+    def decorate(function: Callable) -> Callable:
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _ENABLED:
+                return function(*args, **kwargs)
+            started = time.perf_counter()
+            try:
+                return function(*args, **kwargs)
+            finally:
+                record_seconds(name, time.perf_counter() - started)
+
+        return wrapper
+
+    return decorate
+
+
+def snapshot() -> dict[str, Any]:
+    """JSON-ready dump of everything recorded so far.
+
+    Layout::
+
+        {"phases": {name: {count, total_seconds, min_seconds,
+                           max_seconds}},
+         "counters": {name: value},
+         "values": {name: {count, total, mean, min, max}}}
+    """
+    with _LOCK:
+        return {
+            "phases": {name: stat.to_dict()
+                       for name, stat in sorted(_PHASES.items())},
+            "counters": dict(sorted(_COUNTERS.items())),
+            "values": {name: stat.to_dict()
+                       for name, stat in sorted(_VALUES.items())},
+        }

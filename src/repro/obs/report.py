@@ -1,0 +1,69 @@
+"""Human-readable rendering of the probe registry.
+
+``repro run --profile`` prints this after the result table; the layout
+mirrors ``repro exec-stats`` so the two reports read as one family.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import probe
+
+#: Derived rates worth printing when both operands were recorded:
+#: (label, counter numerator, phase denominator).
+_RATES = (
+    ("sim events/sec", "sim.events", "sim.run"),
+    ("trace events/sec built", "trace.build.events", "trace.build"),
+)
+
+
+def render(snapshot: dict[str, Any] | None = None) -> str:
+    """Format a probe snapshot (default: the live registry) as text."""
+    data = snapshot if snapshot is not None else probe.snapshot()
+    phases: dict[str, dict[str, Any]] = data.get("phases", {})
+    counters: dict[str, float] = data.get("counters", {})
+    values: dict[str, dict[str, Any]] = data.get("values", {})
+    lines = ["profile (repro.obs)", "-" * 56]
+    if not phases and not counters and not values:
+        lines.append("  nothing recorded (probes disabled?)")
+        return "\n".join(lines)
+
+    if phases:
+        lines.append(f"  {'phase':<28} {'count':>6} {'total':>9} "
+                     f"{'mean':>9} {'max':>9}")
+        for name, stat in phases.items():
+            count = stat["count"]
+            total = stat["total_seconds"]
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<28} {count:>6} {total:>8.3f}s "
+                f"{mean:>8.4f}s {stat['max_seconds']:>8.4f}s"
+            )
+    if values:
+        lines.append("")
+        lines.append(f"  {'value':<28} {'count':>6} {'mean':>9} "
+                     f"{'min':>9} {'max':>9}")
+        for name, stat in values.items():
+            lines.append(
+                f"  {name:<28} {stat['count']:>6} {stat['mean']:>9.2f} "
+                f"{stat['min']:>9.0f} {stat['max']:>9.0f}"
+            )
+    if counters:
+        lines.append("")
+        lines.append(f"  {'counter':<40} {'value':>12}")
+        for name, value in counters.items():
+            rendered = f"{value:.0f}" if float(value).is_integer() \
+                else f"{value:.3f}"
+            lines.append(f"  {name:<40} {rendered:>12}")
+
+    rates = []
+    for label, counter_name, phase_name in _RATES:
+        count = counters.get(counter_name)
+        span = phases.get(phase_name, {}).get("total_seconds")
+        if count and span:
+            rates.append(f"  {label:<40} {count / span:>12.0f}")
+    if rates:
+        lines.append("")
+        lines.extend(rates)
+    return "\n".join(lines)

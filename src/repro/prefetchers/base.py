@@ -13,12 +13,15 @@ existing prefetchers have no notion of code blocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class DemandInfo:
     """One committed memory access as seen by a prefetcher.
+
+    A ``__slots__`` class rather than a dataclass: the engine constructs
+    one per committed access, millions per simulation, and the frozen-
+    dataclass ``__init__`` (``object.__setattr__`` per field) dominated
+    the profile.  The constructor signature, equality, and attribute set
+    are unchanged from the dataclass it replaces.
 
     Attributes:
         pc: static instruction identifier.
@@ -31,17 +34,40 @@ class DemandInfo:
             False).
     """
 
-    pc: int
-    line: int
-    address: int
-    is_write: bool
-    l1_hit: bool
-    l2_hit: bool
+    __slots__ = ("pc", "line", "address", "is_write", "l1_hit", "l2_hit")
+
+    def __init__(self, pc: int, line: int, address: int, is_write: bool,
+                 l1_hit: bool, l2_hit: bool) -> None:
+        self.pc = pc
+        self.line = line
+        self.address = address
+        self.is_write = is_write
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
 
     @property
     def was_miss(self) -> bool:
         """True when the access missed the whole hierarchy."""
         return not self.l1_hit and not self.l2_hit
+
+    def _key(self) -> tuple:
+        return (self.pc, self.line, self.address, self.is_write,
+                self.l1_hit, self.l2_hit)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DemandInfo):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"DemandInfo(pc={self.pc}, line={self.line}, "
+            f"address={self.address}, is_write={self.is_write}, "
+            f"l1_hit={self.l1_hit}, l2_hit={self.l2_hit})"
+        )
 
 
 class Prefetcher:

@@ -123,6 +123,29 @@ class GlobalHistoryBuffer:
         self._head.clear()
 
 
+class _KeyHistory:
+    """Incremental per-key delta-correlation state (see
+    :meth:`GhbPrefetcher._predict_incremental`).
+
+    ``serials``/``addresses``/``deltas`` mirror the key's full push
+    history; entries are addressed by *absolute* index (``offset`` maps
+    absolute to physical after pruning).  ``windows`` maps each
+    ``match_length``-delta window tuple to the largest absolute start
+    position at which it has occurred while live.  ``live_start`` is the
+    absolute index of the oldest address still resident in the GHB.
+    """
+
+    __slots__ = ("serials", "addresses", "deltas", "windows", "offset", "live_start")
+
+    def __init__(self) -> None:
+        self.serials: list[int] = []
+        self.addresses: list[int] = []
+        self.deltas: list[int] = []
+        self.windows: dict[tuple[int, ...], int] = {}
+        self.offset = 0
+        self.live_start = 0
+
+
 class GhbPrefetcher(Prefetcher):
     """GHB G/DC or PC/DC, selected by :attr:`GhbConfig.mode`."""
 
@@ -130,15 +153,97 @@ class GhbPrefetcher(Prefetcher):
         self.config = config or GhbConfig()
         self.name = "ghb-g/dc" if self.config.mode == "global" else "ghb-pc/dc"
         self.buffer = GlobalHistoryBuffer(self.config.buffer_entries)
+        self._histories: dict[int, _KeyHistory] = {}
+        self._match_length = self.config.match_length
+        self._degree = self.config.degree
 
     def on_access(self, info: DemandInfo) -> list[int]:
         if info.l1_hit:
             return []  # the GHB records cache misses only
         key = _GLOBAL_KEY if self.config.mode == "global" else info.pc
         self.buffer.push(key, info.line)
-        return self._predict(key)
+        return self._predict_incremental(key, info.line)
+
+    def _predict_incremental(self, key: int, line: int) -> list[int]:
+        """O(match_length) replacement for the :meth:`_predict` walk.
+
+        The naive walk re-derives the key's chain and linearly scans its
+        delta stream on every miss — O(capacity) per trigger.  This
+        method keeps the chain materialized incrementally and finds "the
+        most recent earlier occurrence of the match window" with one
+        dict lookup.  Correctness argument (pinned by the equivalence
+        test against :meth:`_predict`):
+
+        * A delta at absolute position ``p`` is in the naive live chain
+          iff the address opening it is still GHB-resident, i.e. iff
+          ``p >= live_start`` — chain walks stop at the first dead link,
+          and serials decrease along the chain, so liveness is a suffix.
+        * ``windows`` stores, per window tuple, the *maximum* start
+          position inserted so far; positions only grow, so a stored
+          maximum below ``live_start`` proves no live occurrence exists,
+          while one at or above it is exactly the naive scan's hit
+          (newest-first scan == maximum live position).
+        * Windows are inserted after the query, so the stored maximum is
+          always at most ``n - match_length - 1`` — the naive
+          ``search_end`` that excludes the match window itself.
+        """
+        buffer = self.buffer
+        hist = self._histories.get(key)
+        if hist is None:
+            hist = _KeyHistory()
+            self._histories[key] = hist
+        serials = hist.serials
+        addresses = hist.addresses
+        deltas = hist.deltas
+        offset = hist.offset
+        if addresses:
+            deltas.append(line - addresses[-1])
+        serials.append(buffer._next_serial - 1)
+        addresses.append(line)
+        n = offset + len(addresses) - 1  # absolute index of this address
+
+        # Advance the liveness frontier: the newest entry is always
+        # live, so the walk terminates.
+        oldest_live = buffer._next_serial - buffer.capacity
+        live_start = hist.live_start
+        while serials[live_start - offset] < oldest_live:
+            live_start += 1
+        hist.live_start = live_start
+
+        ml = self._match_length
+        match_start = n - ml  # absolute start of the just-completed window
+        result: list[int] = []
+        if n + 1 - live_start >= ml + 2:
+            match = tuple(deltas[match_start - offset:])
+            position = hist.windows.get(match, -1)
+            if position >= live_start:
+                start = position + ml - offset
+                base = line
+                for delta in deltas[start : start + self._degree]:
+                    base += delta
+                    result.append(base)
+        if match_start >= live_start:
+            hist.windows[tuple(deltas[match_start - offset:])] = match_start
+
+        # Prune dead history so per-key state stays O(capacity).
+        if len(addresses) > 2 * buffer.capacity:
+            cut = live_start - offset
+            if cut > 0:
+                del addresses[:cut]
+                del serials[:cut]
+                del deltas[:cut]
+                hist.offset = live_start
+                windows = hist.windows
+                for window in [w for w, p in windows.items() if p < live_start]:
+                    del windows[window]
+        return result
 
     def _predict(self, key: int) -> list[int]:
+        """Reference delta-correlation walk (O(capacity) per trigger).
+
+        Kept as the readable specification; :meth:`_predict_incremental`
+        must produce identical candidates (pinned by tests).
+        """
         config = self.config
         newest_first = self.buffer.chain(key, config.buffer_entries)
         if len(newest_first) < config.match_length + 2:
@@ -176,3 +281,4 @@ class GhbPrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self.buffer.clear()
+        self._histories.clear()

@@ -90,6 +90,7 @@ class SmsPrefetcher(Prefetcher):
     def __init__(self, config: SmsConfig | None = None) -> None:
         self.config = config or SmsConfig()
         self._region_shift = log2_exact(self.config.lines_per_region)
+        self._offset_mask = self.config.lines_per_region - 1
         # region number -> generation, for both tables (LRU ordered).
         self._filter: OrderedDict[int, _Generation] = OrderedDict()
         self._agt: OrderedDict[int, _Generation] = OrderedDict()
@@ -100,7 +101,7 @@ class SmsPrefetcher(Prefetcher):
 
     def on_access(self, info: DemandInfo) -> list[int]:
         region = info.line >> self._region_shift
-        offset = info.line & (self.config.lines_per_region - 1)
+        offset = info.line & self._offset_mask
 
         generation = self._agt.get(region)
         if generation is not None:

@@ -30,6 +30,7 @@ import zlib
 from pathlib import Path
 from typing import BinaryIO
 
+from repro import obs
 from repro.common.errors import TraceError
 from repro.trace.events import (
     BLOCK_BEGIN,
@@ -57,7 +58,7 @@ def write_trace(trace: Trace, path: str | Path) -> None:
     path = Path(path)
     temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     try:
-        with open(temporary, "wb") as handle:
+        with obs.phase("trace.write"), open(temporary, "wb") as handle:
             _write(trace, handle)
             handle.flush()
             os.fsync(handle.fileno())
@@ -107,8 +108,10 @@ def _write(trace: Trace, handle: BinaryIO) -> None:
 
 def read_trace(path: str | Path) -> Trace:
     """Read a trace previously written by :func:`write_trace`."""
-    with open(path, "rb") as handle:
-        return _read(handle)
+    with obs.phase("trace.read"), open(path, "rb") as handle:
+        trace = _read(handle)
+    obs.add("trace.read.events", len(trace.events))
+    return trace
 
 
 def _read(handle: BinaryIO) -> Trace:

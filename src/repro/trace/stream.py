@@ -69,11 +69,27 @@ class Trace:
         self.name = name
         self.events: list[TraceEvent] = list(events)
         self.instructions = instructions
+        self._columns = None
         if self.events and instructions < self.events[-1].icount:
             raise TraceError(
                 f"trace '{name}': instruction total {instructions} is below the "
                 f"last event icount {self.events[-1].icount}"
             )
+
+    def columns(self):
+        """Columnar (structure-of-arrays) view of the event stream.
+
+        Built lazily on first use and cached: the engine's fast path
+        iterates these typed arrays instead of the event objects.  The
+        event list is treated as immutable once a trace is constructed
+        (nothing in the codebase mutates it), so the cache never goes
+        stale.
+        """
+        if self._columns is None:
+            from repro.trace.columnar import EventColumns
+
+            self._columns = EventColumns(self.events)
+        return self._columns
 
     def __len__(self) -> int:
         return len(self.events)

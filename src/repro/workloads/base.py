@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.common.errors import WorkloadError
 from repro.ir.interp import ExecutionLimits, run_kernel
 from repro.ir.nodes import Kernel
@@ -59,25 +60,27 @@ def build_trace(
     lowering backend, default) or ``"interp"`` (the reference tree
     walker).  Both produce identical traces.
     """
-    kernel = spec.kernel(scale)
-    annotate_tight_loops(kernel)
-    budget = max_accesses if max_accesses is not None else int(
-        spec.default_accesses * scale
-    )
-    limits = ExecutionLimits(max_memory_accesses=budget)
-    if backend == "compiled":
-        from repro.ir.compile import run_kernel_compiled
-
-        trace = run_kernel_compiled(kernel, seed=seed, limits=limits)
-    elif backend == "interp":
-        trace = run_kernel(kernel, seed=seed, limits=limits)
-    else:
-        raise WorkloadError(
-            f"unknown trace backend {backend!r}; use 'compiled' or 'interp'"
+    with obs.phase("trace.build"):
+        kernel = spec.kernel(scale)
+        annotate_tight_loops(kernel)
+        budget = max_accesses if max_accesses is not None else int(
+            spec.default_accesses * scale
         )
-    trace.validate()
-    if not any(True for _ in trace.memory_events()):
-        raise WorkloadError(f"{spec.name}: produced an empty trace")
+        limits = ExecutionLimits(max_memory_accesses=budget)
+        if backend == "compiled":
+            from repro.ir.compile import run_kernel_compiled
+
+            trace = run_kernel_compiled(kernel, seed=seed, limits=limits)
+        elif backend == "interp":
+            trace = run_kernel(kernel, seed=seed, limits=limits)
+        else:
+            raise WorkloadError(
+                f"unknown trace backend {backend!r}; use 'compiled' or 'interp'"
+            )
+        trace.validate()
+        if not any(True for _ in trace.memory_events()):
+            raise WorkloadError(f"{spec.name}: produced an empty trace")
+        obs.add("trace.build.events", len(trace.events))
     return trace
 
 

@@ -1,0 +1,157 @@
+"""Tests for the ``repro bench`` schema and regression checking."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.harness.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    QUICK_WORKLOADS,
+    bench_grid as _bench_grid,
+    check_bench,
+    embed_baseline,
+    load_bench,
+    render_bench,
+    result_digest,
+    write_bench,
+)
+from repro.harness.registry import PAPER_PREFETCHER_ORDER
+from repro.sim.results import SimResult
+from repro.workloads import ALL_WORKLOADS
+
+
+def _document(events_per_second: float = 100_000.0) -> dict:
+    grid = _bench_grid(quick=True)
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "grid": grid.to_dict(),
+        "config": "reduced",
+        "totals": {
+            "cells": 2,
+            "events": 1000,
+            "sim_seconds": 1000 / events_per_second,
+            "events_per_second": events_per_second,
+            "wall_seconds": 1.0,
+        },
+        "trace_build": {"seconds": 0.1, "events": 500},
+        "cells": [
+            {
+                "workload": "stencil-default",
+                "prefetcher": "cbws",
+                "events": 500,
+                "wall_seconds": 0.005,
+                "events_per_second": events_per_second,
+                "result_digest": "aaaa000011112222",
+            },
+            {
+                "workload": "429.mcf-ref",
+                "prefetcher": "sms",
+                "events": 500,
+                "wall_seconds": 0.005,
+                "events_per_second": events_per_second,
+                "result_digest": "bbbb000011112222",
+            },
+        ],
+    }
+
+
+class TestBenchGrid:
+    def test_full_grid_is_fig14(self):
+        grid = _bench_grid(quick=False)
+        assert grid.mode == "full"
+        assert grid.workloads == tuple(ALL_WORKLOADS)
+        assert grid.prefetchers == tuple(PAPER_PREFETCHER_ORDER)
+
+    def test_quick_grid_is_pinned_subset(self):
+        grid = _bench_grid(quick=True)
+        assert grid.mode == "quick"
+        assert grid.workloads == QUICK_WORKLOADS
+        assert set(grid.workloads) <= set(ALL_WORKLOADS)
+
+
+class TestResultDigest:
+    def test_digest_is_deterministic_and_content_sensitive(self):
+        first = SimResult(workload="w", prefetcher="p", instructions=100)
+        same = SimResult(workload="w", prefetcher="p", instructions=100)
+        other = SimResult(workload="w", prefetcher="p", instructions=101)
+        assert result_digest(first) == result_digest(same)
+        assert result_digest(first) != result_digest(other)
+        assert len(result_digest(first)) == 16
+
+
+class TestCheckBench:
+    def test_identical_run_passes(self):
+        document = _document()
+        assert check_bench(document, copy.deepcopy(document)) == []
+
+    def test_throughput_regression_fails(self):
+        baseline = _document(events_per_second=100_000.0)
+        slow = _document(events_per_second=60_000.0)
+        problems = check_bench(slow, baseline, tolerance=0.30)
+        assert any("throughput regression" in p for p in problems)
+
+    def test_within_tolerance_passes(self):
+        baseline = _document(events_per_second=100_000.0)
+        slightly_slow = _document(events_per_second=80_000.0)
+        assert check_bench(slightly_slow, baseline, tolerance=0.30) == []
+
+    def test_digest_drift_is_a_failure(self):
+        baseline = _document()
+        drifted = _document()
+        drifted["cells"][0]["result_digest"] = "ffff000011112222"
+        problems = check_bench(drifted, baseline)
+        assert any("result drift" in p for p in problems)
+
+    def test_mismatched_grid_skips_digests_with_note(self):
+        baseline = _document()
+        baseline["grid"]["budget_fraction"] = 0.5
+        problems = check_bench(_document(), baseline)
+        assert problems == ["note: grids differ; result digests not compared"]
+
+    def test_schema_version_mismatch_fails(self):
+        baseline = _document()
+        baseline["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        problems = check_bench(_document(), baseline)
+        assert any("schema_version" in p for p in problems)
+
+
+class TestBaselineAndIo:
+    def test_embed_baseline_records_speedup(self):
+        baseline = _document(events_per_second=100_000.0)
+        document = _document(events_per_second=250_000.0)
+        embed_baseline(document, baseline, "some/path.json")
+        assert document["baseline"]["path"] == "some/path.json"
+        assert abs(document["baseline"]["speedup"] - 2.5) < 1e-9
+
+    def test_write_load_round_trip(self, tmp_path):
+        document = _document()
+        path = tmp_path / "bench.json"
+        write_bench(document, path)
+        assert load_bench(path) == document
+
+    def test_render_mentions_totals_and_speedup(self):
+        document = _document(events_per_second=250_000.0)
+        embed_baseline(document, _document(events_per_second=100_000.0))
+        rendered = render_bench(document)
+        assert "events/sec" in rendered
+        assert "2.50x" in rendered
+
+
+class TestCommittedArtifacts:
+    """The repo ships the PR's before/after numbers and the CI baseline."""
+
+    def test_committed_bench_document_is_valid(self):
+        document = load_bench("BENCH_sim_hotpath.json")
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["schema_version"] == BENCH_SCHEMA_VERSION
+        baseline = document["baseline"]
+        # The PR's acceptance bar: >= 2x events/sec on the fig14 grid.
+        assert baseline["speedup"] >= 2.0
+        assert document["grid"]["mode"] == "full"
+
+    def test_committed_quick_baseline_matches_quick_grid(self):
+        document = load_bench("benchmarks/baselines/BENCH_quick_baseline.json")
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["grid"] == _bench_grid(quick=True).to_dict()

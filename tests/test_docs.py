@@ -1,0 +1,85 @@
+"""Documentation health checks: docstring presence and markdown links.
+
+These mirror the CI docs job locally: the module-docstring test is the
+AST equivalent of ``ruff check --select D100,D104`` (ruff itself is a
+CI-only dependency), and the link tests drive
+``tools/check_markdown_links.py`` over both fixtures and the real docs.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+             "CHANGES.md"]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_markdown_links", REPO_ROOT / "tools" / "check_markdown_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestModuleDocstrings:
+    """Every module and package in src/repro documents itself (D100/D104)."""
+
+    def test_all_modules_have_docstrings(self):
+        missing = []
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            if ast.get_docstring(tree) is None:
+                missing.append(str(path.relative_to(REPO_ROOT)))
+        assert missing == [], f"modules missing docstrings: {missing}"
+
+
+class TestLinkChecker:
+    def test_github_anchor_slugs(self):
+        checker = _load_checker()
+        assert checker.github_anchor("The `obs` package") == "the-obs-package"
+        assert checker.github_anchor("Step 1: Build & Run!") == "step-1-build--run"
+
+    def test_detects_broken_file_link(self, tmp_path):
+        checker = _load_checker()
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [gone](missing.md) here\n")
+        problems = checker.check_file(doc)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_detects_missing_anchor(self, tmp_path):
+        checker = _load_checker()
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Real Heading\n\n[jump](#not-a-heading)\n")
+        problems = checker.check_file(doc)
+        assert len(problems) == 1 and "not-a-heading" in problems[0]
+
+    def test_valid_relative_and_anchor_links_pass(self, tmp_path):
+        checker = _load_checker()
+        other = tmp_path / "other.md"
+        other.write_text("# Target Section\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Top\n\n[ok](other.md) [deep](other.md#target-section) "
+            "[self](#top) [web](https://example.com)\n"
+        )
+        assert checker.check_file(doc) == []
+
+    def test_code_fences_are_ignored(self, tmp_path):
+        checker = _load_checker()
+        doc = tmp_path / "doc.md"
+        doc.write_text("```\n[fake](nowhere.md)\n```\n")
+        assert checker.check_file(doc) == []
+
+    def test_repo_docs_have_no_broken_links(self):
+        checker = _load_checker()
+        problems = []
+        for name in DOC_FILES:
+            problems.extend(checker.check_file(REPO_ROOT / name))
+        assert problems == [], f"broken doc links: {problems}"

@@ -1,0 +1,128 @@
+"""Tests for the repro.obs probe registry and profile report."""
+
+import time
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+def test_disabled_records_nothing():
+    with obs.phase("off.phase"):
+        pass
+    obs.add("off.counter", 5)
+    obs.observe("off.value", 3)
+    obs.record_seconds("off.span", 1.0)
+    snap = obs.snapshot()
+    assert snap["phases"] == {}
+    assert snap["counters"] == {}
+    assert snap["values"] == {}
+
+
+def test_phase_context_manager_records_span():
+    obs.enable()
+    with obs.phase("work"):
+        time.sleep(0.01)
+    with obs.phase("work"):
+        pass
+    stat = obs.snapshot()["phases"]["work"]
+    assert stat["count"] == 2
+    assert stat["total_seconds"] >= 0.01
+    assert stat["max_seconds"] >= stat["min_seconds"] >= 0.0
+
+
+def test_phase_records_on_exception():
+    obs.enable()
+    with pytest.raises(ValueError):
+        with obs.phase("explode"):
+            raise ValueError("boom")
+    assert obs.snapshot()["phases"]["explode"]["count"] == 1
+
+
+def test_timed_decorator():
+    calls = []
+
+    @obs.timed("decorated")
+    def work(x):
+        calls.append(x)
+        return x * 2
+
+    assert work(3) == 6  # disabled: passthrough, nothing recorded
+    assert "decorated" not in obs.snapshot()["phases"]
+    obs.enable()
+    assert work(4) == 8
+    assert obs.snapshot()["phases"]["decorated"]["count"] == 1
+    assert calls == [3, 4]
+    assert work.__name__ == "work"
+
+
+def test_counters_accumulate():
+    obs.enable()
+    obs.add("events")
+    obs.add("events", 9)
+    obs.add("bytes", 2.5)
+    counters = obs.snapshot()["counters"]
+    assert counters["events"] == 10
+    assert counters["bytes"] == 2.5
+
+
+def test_observe_tracks_distribution():
+    obs.enable()
+    for value in (4, 1, 7):
+        obs.observe("queue.occupancy", value)
+    stat = obs.snapshot()["values"]["queue.occupancy"]
+    assert stat["count"] == 3
+    assert stat["min"] == 1
+    assert stat["max"] == 7
+    assert stat["mean"] == pytest.approx(4.0)
+
+
+def test_reset_clears_but_keeps_flag():
+    obs.enable()
+    obs.add("x")
+    obs.reset()
+    assert obs.snapshot()["counters"] == {}
+    assert obs.enabled()
+
+
+def test_render_empty_and_populated():
+    assert "nothing recorded" in obs.render()
+    obs.enable()
+    with obs.phase("sim.run"):
+        pass
+    obs.add("sim.events", 1000)
+    obs.observe("sim.prefetch_queue.occupancy", 12)
+    text = obs.render()
+    assert "sim.run" in text
+    assert "sim.events" in text
+    assert "sim.prefetch_queue.occupancy" in text
+
+
+def test_render_derived_rates():
+    snap = {
+        "phases": {"sim.run": {"count": 1, "total_seconds": 2.0,
+                               "min_seconds": 2.0, "max_seconds": 2.0}},
+        "counters": {"sim.events": 1_000_000},
+        "values": {},
+    }
+    text = obs.render(snap)
+    assert "sim events/sec" in text
+    assert "500000" in text
+
+
+def test_disabled_overhead_is_negligible():
+    """The disabled path must not dominate a tight loop."""
+    started = time.perf_counter()
+    for _ in range(100_000):
+        obs.add("hot", 1)
+    elapsed = time.perf_counter() - started
+    assert elapsed < 0.5  # generous bound: it's a flag test + return

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation set.
+
+Stdlib-only (runs in CI without installing anything).  For every given
+markdown file it extracts inline links and validates the local ones:
+
+* relative file links must point at an existing file or directory
+  (checked relative to the linking file's directory);
+* fragment links (``#anchor`` or ``file.md#anchor``) must match a
+  heading in the target file, using GitHub's anchor slug rules
+  (lowercase, punctuation stripped, spaces to hyphens);
+* ``http(s)``/``mailto`` links are *not* fetched — network checks flake
+  in CI — but must at least parse as absolute URLs.
+
+Exit status is the number of broken links (0 == all good).
+
+Usage::
+
+    python tools/check_markdown_links.py README.md DESIGN.md ...
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target).  Images share the syntax
+#: (preceded by '!'), and both are checked the same way.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces become hyphens (backticks and trailing markup stripped)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def extract_links(markdown: str) -> list[tuple[int, str]]:
+    """All inline link targets with their 1-based line numbers.
+
+    Fenced code blocks are skipped — they hold example syntax, not
+    navigable links.
+    """
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(markdown.splitlines(), start=1):
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_PATTERN.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Anchor slugs for every heading in a markdown file."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        heading = _HEADING_PATTERN.match(line)
+        if heading:
+            anchors.add(github_anchor(heading.group(1)))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    """Validate every link in one markdown file; returns problem strings."""
+    problems: list[str] = []
+    for line_number, target in extract_links(path.read_text(encoding="utf-8")):
+        where = f"{path}:{line_number}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # not fetched; syntactically absolute already
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_of(path):
+                problems.append(f"{where}: missing anchor {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{where}: broken link {target!r} "
+                            f"({resolved} does not exist)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{where}: missing anchor #{fragment} in {file_part}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check each named file; print problems; exit with their count."""
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    problems: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{name}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"checked {len(argv)} files: all links ok")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
