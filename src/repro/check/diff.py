@@ -1,0 +1,336 @@
+"""Differential harnesses: implementation vs oracle, fast vs reference.
+
+Three harnesses, each replaying one trace and reporting the **first
+divergence** with a machine-state dump (or ``None`` when the replay is
+clean):
+
+* :func:`diff_prefetcher` — drives a production prefetcher and its
+  :mod:`repro.check.oracles` golden model with an identical demand
+  stream (derived from the oracle hierarchy with no prefetch fills, so
+  hit/miss annotations and L1-eviction callbacks are deterministic and
+  engine-independent) and compares every candidate list.
+* :func:`diff_engine` — runs the columnar fast path and the readable
+  reference engine on fresh machines and compares the full result
+  serialization plus hierarchy statistics (they are documented as
+  bit-identical).
+* :func:`diff_hierarchy` — steps the implementation hierarchy through
+  both its reference and ``*_fast`` methods alongside the hierarchy
+  oracle, interleaving deterministic prefetch fills, and compares
+  outcome codes, eviction sequences, and statistics per access.
+
+Oracle-vs-implementation prefetcher diffs run at 64-byte lines only:
+the stride implementation (deliberately, see its oracle) converts
+predicted addresses with the global 64-byte line shift, so other line
+sizes are covered by the engine diff instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.check.oracles import HierarchyOracle, make_oracle
+from repro.harness.registry import PREFETCHER_FACTORIES, make_prefetcher
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers.base import DemandInfo, Prefetcher
+from repro.sim.config import REDUCED_CONFIG, CoreConfig, SimConfig
+from repro.sim.engine import SimulationEngine
+from repro.trace.events import BLOCK_BEGIN, BLOCK_END, MEMORY_ACCESS
+from repro.trace.stream import Trace
+
+#: Prefetcher names with a golden model (the oracle-diff surface).
+DIFF_PREFETCHERS = [
+    "stride",
+    "ghb-g/dc",
+    "ghb-pc/dc",
+    "sms",
+    "markov",
+    "ampm",
+    "cbws",
+    "cbws+sms",
+]
+
+
+@dataclass
+class Divergence:
+    """First point where two models of the same machine disagree.
+
+    Attributes:
+        kind: ``"prefetcher"``, ``"engine"``, or ``"hierarchy"``.
+        subject: prefetcher/config name under test.
+        trace: name of the trace that exposed the divergence.
+        event_index: position in the event stream (-1 for end-of-run
+            comparisons such as engine result totals).
+        description: what disagreed.
+        expected: the oracle/reference value.
+        actual: the implementation value.
+        state: machine-state dump at the divergence point.
+    """
+
+    kind: str
+    subject: str
+    trace: str
+    event_index: int
+    description: str
+    expected: Any
+    actual: Any
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.kind} divergence [{self.subject}] on trace "
+            f"'{self.trace}' at event {self.event_index}: {self.description}",
+            f"  expected: {self.expected!r}",
+            f"  actual:   {self.actual!r}",
+        ]
+        for key in sorted(self.state):
+            lines.append(f"  {key}: {self.state[key]!r}")
+        return "\n".join(lines)
+
+
+def config_with_line_size(line_size: int) -> SimConfig:
+    """The reduced-scale machine at an arbitrary line size."""
+    core = CoreConfig()
+    return SimConfig(
+        hierarchy=HierarchyConfig(
+            l1=CacheConfig(
+                name="L1D", size_bytes=4096, associativity=4,
+                line_size=line_size, latency=core.l1_latency, mshrs=4,
+            ),
+            l2=CacheConfig(
+                name="L2", size_bytes=131072, associativity=8,
+                line_size=line_size, latency=core.l2_latency, mshrs=32,
+            ),
+            line_size=line_size,
+        ),
+        core=core,
+    )
+
+
+def _hierarchy_oracle_for(config: SimConfig) -> HierarchyOracle:
+    l1, l2 = config.hierarchy.l1, config.hierarchy.l2
+    return HierarchyOracle(
+        l1_sets=l1.num_sets, l1_ways=l1.associativity,
+        l2_sets=l2.num_sets, l2_ways=l2.associativity,
+    )
+
+
+def _state_dump(impl: Any, oracle: Any) -> Dict[str, Any]:
+    """Small, human-scannable snapshot of both machines."""
+    state: Dict[str, Any] = {"oracle_features": sorted(oracle.features)}
+    predictor = getattr(impl, "predictor", None)
+    if predictor is not None:
+        state["impl.current"] = predictor.current.snapshot()
+        state["impl.overflowed"] = predictor.current.overflowed
+        state["impl.last_blocks"] = list(predictor.last_blocks)
+        state["impl.table_size"] = len(predictor.table)
+    oracle_current = getattr(oracle, "current", None)
+    if oracle_current is not None:
+        state["oracle.current"] = tuple(oracle_current)
+        state["oracle.overflowed"] = oracle.overflowed
+        state["oracle.last_blocks"] = list(oracle.last_blocks)
+        state["oracle.table_size"] = len(oracle.table)
+    return state
+
+
+def diff_prefetcher(
+    name: str,
+    trace: Trace,
+    *,
+    impl_factory: Optional[Callable[[], Prefetcher]] = None,
+    oracle_factory: Optional[Callable[[], Any]] = None,
+) -> Optional[Divergence]:
+    """Replay ``trace`` through implementation and oracle; first mismatch.
+
+    Both sides receive the identical :class:`DemandInfo` stream and
+    L1-eviction callbacks, derived from the hierarchy oracle running
+    demand accesses only (64-byte lines, reduced geometry).  Custom
+    factories support fault-injection self-tests.
+    """
+    impl = impl_factory() if impl_factory is not None else make_prefetcher(name)
+    oracle = oracle_factory() if oracle_factory is not None else make_oracle(name)
+    hierarchy = _hierarchy_oracle_for(REDUCED_CONFIG)
+
+    for index, event in enumerate(trace.events):
+        kind = event.kind
+        if kind == MEMORY_ACCESS:
+            line = event.address >> 6
+            outcome, evictions = hierarchy.demand_access(line)
+            info = DemandInfo(
+                pc=event.pc,
+                line=line,
+                address=event.address,
+                is_write=event.is_write,
+                l1_hit=outcome == "l1",
+                l2_hit=outcome != "memory",
+            )
+            actual = impl.on_access(info)
+            expected = oracle.on_access(info)
+            if actual != expected:
+                return Divergence(
+                    kind="prefetcher", subject=name, trace=trace.name,
+                    event_index=index,
+                    description=f"on_access candidates differ ({event!r})",
+                    expected=expected, actual=actual,
+                    state=_state_dump(impl, oracle),
+                )
+            for evicted in evictions:
+                impl.on_l1_eviction(evicted)
+                oracle.on_l1_eviction(evicted)
+        elif kind == BLOCK_BEGIN:
+            impl.on_block_begin(event.block_id)
+            oracle.on_block_begin(event.block_id)
+        else:  # BLOCK_END
+            actual = impl.on_block_end(event.block_id)
+            expected = oracle.on_block_end(event.block_id)
+            if actual != expected:
+                return Divergence(
+                    kind="prefetcher", subject=name, trace=trace.name,
+                    event_index=index,
+                    description=f"on_block_end candidates differ ({event!r})",
+                    expected=expected, actual=actual,
+                    state=_state_dump(impl, oracle),
+                )
+    return None
+
+
+def diff_engine(
+    name: str,
+    trace: Trace,
+    config: SimConfig = REDUCED_CONFIG,
+) -> Optional[Divergence]:
+    """Fast path vs reference engine on fresh machines; first mismatch."""
+    factory = PREFETCHER_FACTORIES[name]
+    fast_engine = SimulationEngine(config, factory())
+    reference_engine = SimulationEngine(config, factory())
+    fast = fast_engine.run(trace).to_dict()
+    reference = reference_engine.run_reference(trace).to_dict()
+    if fast != reference:
+        keys = [key for key in reference if fast.get(key) != reference[key]]
+        return Divergence(
+            kind="engine", subject=name, trace=trace.name, event_index=-1,
+            description=f"fast path result differs from reference on {keys}",
+            expected={key: reference[key] for key in keys},
+            actual={key: fast.get(key) for key in keys},
+        )
+    fast_stats = vars(fast_engine.hierarchy.stats)
+    reference_stats = vars(reference_engine.hierarchy.stats)
+    if fast_stats != reference_stats:
+        return Divergence(
+            kind="engine", subject=name, trace=trace.name, event_index=-1,
+            description="hierarchy statistics differ between fast and reference",
+            expected=reference_stats, actual=fast_stats,
+        )
+    return None
+
+
+_FAST_OUTCOMES = {0: "l1", 1: "l2", 2: "l2-prefetch", 3: "memory"}
+
+
+def diff_hierarchy(
+    trace: Trace,
+    config: SimConfig = REDUCED_CONFIG,
+    prefetch_interval: int = 5,
+) -> Optional[Divergence]:
+    """Implementation hierarchy (both method families) vs oracle.
+
+    Every ``prefetch_interval``-th access additionally injects a
+    prefetch fill of the neighbouring line into all three models so the
+    prefetch-flag and LRU-insertion paths are exercised.
+    """
+    from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
+
+    reference = CacheHierarchy(config.hierarchy)
+    fast = CacheHierarchy(config.hierarchy)
+    oracle = _hierarchy_oracle_for(config)
+    line_shift = config.hierarchy.line_size.bit_length() - 1
+    outcome_names = {
+        AccessOutcome.L1_HIT: "l1",
+        AccessOutcome.L2_HIT: "l2",
+        AccessOutcome.MEMORY: "memory",
+    }
+
+    accesses = 0
+    for index, event in enumerate(trace.events):
+        if event.kind != MEMORY_ACCESS:
+            continue
+        line = event.address >> line_shift
+        expected_outcome, expected_evictions = oracle.demand_access(line)
+
+        result = reference.demand_access(line)
+        ref_outcome = outcome_names[result.outcome]
+        if ref_outcome == "l2" and result.l2_fill_was_prefetch:
+            ref_outcome = "l2-prefetch"
+        ref_evictions = [record.line for record in result.l1_evictions]
+
+        fast_evictions: List[int] = []
+        fast_outcome = _FAST_OUTCOMES[fast.demand_access_fast(line, fast_evictions)]
+
+        for label, outcome, evictions in (
+            ("reference", ref_outcome, ref_evictions),
+            ("fast", fast_outcome, fast_evictions),
+        ):
+            if (outcome, evictions) != (expected_outcome, expected_evictions):
+                return Divergence(
+                    kind="hierarchy", subject=label, trace=trace.name,
+                    event_index=index,
+                    description="demand access outcome/evictions differ",
+                    expected=(expected_outcome, expected_evictions),
+                    actual=(outcome, evictions),
+                    state={"line": line, "oracle_stats": dict(oracle.stats)},
+                )
+
+        accesses += 1
+        if accesses % prefetch_interval == 0:
+            target = line + 1
+            expected_filled, expected_back = oracle.prefetch_fill(target)
+            fill = reference.prefetch_fill(target)
+            ref_filled = fill is not None
+            ref_back = [r.line for r in fill.l1_evictions] if fill else []
+            fast_back: List[int] = []
+            fast_filled = fast.prefetch_fill_fast(target, fast_back)
+            for label, filled, back in (
+                ("reference", ref_filled, ref_back),
+                ("fast", fast_filled, fast_back),
+            ):
+                if (filled, back) != (expected_filled, expected_back):
+                    return Divergence(
+                        kind="hierarchy", subject=label, trace=trace.name,
+                        event_index=index,
+                        description="prefetch fill outcome/evictions differ",
+                        expected=(expected_filled, expected_back),
+                        actual=(filled, back),
+                        state={"line": target, "oracle_stats": dict(oracle.stats)},
+                    )
+
+    for label, hierarchy in (("reference", reference), ("fast", fast)):
+        stats = vars(hierarchy.stats)
+        if stats != oracle.stats:
+            return Divergence(
+                kind="hierarchy", subject=label, trace=trace.name, event_index=-1,
+                description="hierarchy statistics differ from oracle",
+                expected=dict(oracle.stats), actual=dict(stats),
+            )
+    return None
+
+
+def diff_all(
+    trace: Trace,
+    names: Optional[List[str]] = None,
+    engine_names: Optional[List[str]] = None,
+) -> List[Divergence]:
+    """Every harness over one trace; all first-divergences found."""
+    divergences: List[Divergence] = []
+    hierarchy_divergence = diff_hierarchy(trace)
+    if hierarchy_divergence is not None:
+        divergences.append(hierarchy_divergence)
+    for name in names if names is not None else DIFF_PREFETCHERS:
+        divergence = diff_prefetcher(name, trace)
+        if divergence is not None:
+            divergences.append(divergence)
+    for name in engine_names if engine_names is not None else sorted(PREFETCHER_FACTORIES):
+        divergence = diff_engine(name, trace)
+        if divergence is not None:
+            divergences.append(divergence)
+    return divergences

@@ -1,0 +1,183 @@
+"""Runtime invariant checks for the simulation engine and hierarchy.
+
+The checks are behind a module-level flag with the same contract as
+:mod:`repro.obs` profiling: consumers read :func:`enabled` **once** per
+run (or per object construction) and hoist the result into a local, so a
+disabled flag costs a single branch per event and nothing allocates.
+Flipping the flag mid-run is deliberately not observed.
+
+When enabled, a violated invariant raises
+:class:`repro.common.errors.InvariantViolation` carrying a context dict
+(the machine state that disproves the property) — the differential
+harness and fuzzer surface it as a divergence with a state dump.
+
+Checked properties:
+
+* **MSHR / in-flight bounds** — outstanding prefetches never exceed the
+  prefetch-path MSHR budget; an open miss window never admits more
+  misses than the L1 MSHR count.
+* **Prefetch-queue bounds and consistency** — the queue never exceeds
+  its capacity and the membership set tracks the queue (every tracked
+  line is physically queued).
+* **Issue-clock monotonicity** — ``next_issue`` never moves backwards
+  (prefetch issues consume bandwidth in order).
+* **ROB ordering** — the open miss window's first miss never postdates
+  the current instruction (icount is monotone through the window).
+* **Fill-heap consistency** — every in-flight prefetch has its
+  completion scheduled in the fill heap, and the heap root is minimal.
+* **Inclusive L2** — every L1-resident line is also L2-resident.
+* **Set occupancy** — no cache set holds more lines than its ways.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, no runtime cycle
+    from repro.memory.hierarchy import CacheHierarchy
+
+_ENABLED = False
+
+
+def enable() -> None:
+    """Turn invariant checking on (``repro check`` does this)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn invariant checking off (the default)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether invariant checks run.
+
+    Hot loops must hoist this into a local before the loop — the flag is
+    read once per run, exactly like :func:`repro.obs.enabled`.
+    """
+    return _ENABLED
+
+
+def _violate(message: str, **context: object) -> None:
+    raise InvariantViolation(message, context)
+
+
+def check_engine_state(
+    *,
+    event_index: int,
+    icount: int,
+    last_icount: int,
+    queue_length: int,
+    queued: set,
+    queue_members: frozenset | set | None,
+    in_flight: dict,
+    fill_heap: list,
+    next_issue: float,
+    last_next_issue: float,
+    window_count: int,
+    window_start_icount: int,
+    mshr_limit: int,
+    queue_capacity: int,
+    max_in_flight: int,
+) -> None:
+    """Validate the engine's prefetch-path and miss-window state.
+
+    ``queue_members`` is the set of lines physically in the queue; pass
+    ``None`` to skip the (linear-cost) membership cross-check.
+    """
+    if len(in_flight) > max_in_flight:
+        _violate(
+            "in-flight prefetches exceed the prefetch MSHR budget",
+            event_index=event_index,
+            in_flight=len(in_flight),
+            max_in_flight=max_in_flight,
+        )
+    if queue_length > queue_capacity:
+        _violate(
+            "prefetch queue exceeds its hardware capacity",
+            event_index=event_index,
+            queue_length=queue_length,
+            queue_capacity=queue_capacity,
+        )
+    if queue_members is not None and not queued <= queue_members:
+        _violate(
+            "queued-line membership set tracks lines not in the queue",
+            event_index=event_index,
+            orphans=sorted(queued - queue_members)[:8],
+        )
+    if window_count > mshr_limit:
+        _violate(
+            "miss window admitted more misses than the L1 MSHR count",
+            event_index=event_index,
+            window_count=window_count,
+            mshr_limit=mshr_limit,
+        )
+    if icount < last_icount:
+        _violate(
+            "event icount moved backwards (ROB ordering broken)",
+            event_index=event_index,
+            icount=icount,
+            last_icount=last_icount,
+        )
+    if window_start_icount > icount:
+        _violate(
+            "open miss window starts after the current instruction",
+            event_index=event_index,
+            window_start_icount=window_start_icount,
+            icount=icount,
+        )
+    if next_issue < last_next_issue:
+        _violate(
+            "prefetch issue clock moved backwards",
+            event_index=event_index,
+            next_issue=next_issue,
+            last_next_issue=last_next_issue,
+        )
+    if fill_heap:
+        root = fill_heap[0]
+        if root != min(fill_heap):
+            _violate(
+                "prefetch fill heap root is not minimal",
+                event_index=event_index,
+                root=root,
+            )
+        for line, completion in in_flight.items():
+            if (completion, line) not in fill_heap:
+                _violate(
+                    "in-flight prefetch has no scheduled completion",
+                    event_index=event_index,
+                    line=line,
+                    completion=completion,
+                )
+    elif in_flight:
+        _violate(
+            "in-flight prefetches exist but the fill heap is empty",
+            event_index=event_index,
+            in_flight=sorted(in_flight)[:8],
+        )
+
+
+def check_hierarchy(hierarchy: "CacheHierarchy") -> None:
+    """Validate the inclusion property and per-set occupancy bounds."""
+    l1, l2 = hierarchy.l1, hierarchy.l2
+    for cache, label in ((l1, "L1"), (l2, "L2")):
+        ways = cache.config.associativity
+        for index, cache_set in enumerate(cache._sets):
+            if len(cache_set) > ways:
+                _violate(
+                    "cache set holds more lines than its associativity",
+                    level=label,
+                    set_index=index,
+                    occupancy=len(cache_set),
+                    ways=ways,
+                )
+    for line in l1.resident_lines():
+        if not l2.contains(line):
+            _violate(
+                "inclusive-L2 property violated: L1 line absent from L2",
+                line=line,
+            )

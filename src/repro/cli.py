@@ -9,6 +9,7 @@ Everything the examples and benches do, driveable from a shell::
     python -m repro table 3
     python -m repro trace --workload nw --out nw.trace
     python -m repro inspect nw.trace
+    python -m repro check --budget 30s --seed 7
     python -m repro exec-stats
 
 Grid commands run through :mod:`repro.exec`: ``--jobs N`` simulates N
@@ -358,6 +359,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """Parse a wall-clock budget: ``30``/``30s`` seconds, ``2m`` minutes."""
+    from repro.common.errors import ConfigError
+
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("m"):
+        scale, raw = 60.0, raw[:-1]
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise ConfigError(
+            f"cannot parse budget {text!r}; use forms like 30, 45s, 2m"
+        ) from None
+    if seconds <= 0:
+        raise ConfigError(f"budget must be positive, got {text!r}")
+    return seconds
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Differential verification: corpus replay, then coverage fuzzing."""
+    import time
+    from pathlib import Path
+
+    from repro.check import diff, fuzz, invariants
+
+    budget = _parse_budget(args.budget)
+    names = (
+        list(diff.DIFF_PREFETCHERS) if args.prefetcher == "all"
+        else [args.prefetcher]
+    )
+    for name in names:
+        if name not in diff.DIFF_PREFETCHERS:
+            known = ", ".join(diff.DIFF_PREFETCHERS)
+            print(f"error: no oracle for prefetcher {name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+
+    # Engine runs under `repro check` execute with invariants armed, so a
+    # corpus replay also exercises the MSHR/queue/inclusion checks.
+    invariants.enable()
+    try:
+        if args.inject is not None:
+            result = fuzz.run_injection(
+                args.inject, budget_seconds=budget, seed=args.seed)
+            if not result.caught:
+                print(f"injection {args.inject!r}: NOT caught within "
+                      f"{budget:.0f}s — harness regression", file=sys.stderr)
+                return 1
+            print(f"injection {args.inject!r}: caught; shrunken "
+                  f"counterexample has {result.counterexample_events} events")
+            print(result.divergence)
+            return 0
+
+        started = time.monotonic()
+        divergences: list[diff.Divergence] = []
+        replayed = 0
+        corpus_dir = Path(args.corpus)
+        if corpus_dir.is_dir():
+            for path in sorted(corpus_dir.glob("*.trace")):
+                trace = read_trace(path)
+                trace.validate()
+                divergences.extend(diff.diff_all(trace, names=names))
+                replayed += 1
+        print(f"corpus: {replayed} trace(s) replayed, "
+              f"{len(divergences)} divergence(s)")
+
+        remaining = budget - (time.monotonic() - started)
+        if remaining > 0 and not divergences:
+            report = fuzz.run_fuzz(remaining, seed=args.seed, names=names)
+            divergences.extend(report.divergences)
+            print(f"fuzz: {report.iterations} iteration(s), corpus grew to "
+                  f"{report.corpus_size}, {len(report.features)} feature(s), "
+                  f"{len(report.divergences)} divergence(s) "
+                  f"in {report.elapsed_seconds:.1f}s")
+        for divergence in divergences:
+            print(divergence, file=sys.stderr)
+        return 1 if divergences else 0
+    finally:
+        invariants.disable()
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     trace = read_trace(args.path)
     trace.validate()
@@ -461,6 +546,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-workload progress lines on stderr")
     _add_profile_argument(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="differential verification: replay the frozen corpus against "
+             "the golden oracles, then fuzz with the remaining budget")
+    check_parser.add_argument(
+        "--budget", default="30s", metavar="TIME",
+        help="wall-clock budget, e.g. 30, 45s, 2m (default 30s)")
+    check_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fuzzer seed (default 0)")
+    check_parser.add_argument(
+        "--prefetcher", default="all",
+        help="verify one prefetcher by name, or 'all' (default)")
+    check_parser.add_argument(
+        "--corpus", default="tests/corpus", metavar="DIR",
+        help="frozen trace corpus to replay first (default tests/corpus)")
+    check_parser.add_argument(
+        "--inject", default=None, metavar="NAME",
+        help="fault-injection self-test: verify the harness catches the "
+             "named known-bad implementation (e.g. cbws-fifo-off-by-one)")
+    check_parser.set_defaults(handler=_cmd_check)
 
     stats_parser = subparsers.add_parser(
         "exec-stats",

@@ -58,6 +58,28 @@ class JournalError(ReproError):
     """A run journal is missing, unreadable, or does not match the grid."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant of the simulator was violated.
+
+    Raised by :mod:`repro.check.invariants` when invariant checking is
+    enabled and a structural property (MSHR bounds, L2 inclusion, queue
+    capacity, issue-clock monotonicity, ...) does not hold.  Carries the
+    machine-state ``context`` captured at the point of violation so the
+    failure is diagnosable without a rerun.
+    """
+
+    def __init__(self, message: str, context: dict | None = None) -> None:
+        super().__init__(message)
+        self.context = dict(context or {})
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        return f"{base} [{detail}]"
+
+
 class TransientError(ExecError):
     """A task failure that is expected to succeed on retry."""
 
@@ -88,8 +110,10 @@ class ErrorKind(Enum):
 
 
 #: Exception types whose failures are deterministic: the same inputs
-#: will fail the same way, so retries are pointless.
-_PERMANENT_TYPES = (ConfigError, ValidationError, WorkloadError)
+#: will fail the same way, so retries are pointless.  Invariant
+#: violations are deterministic by construction: the simulator replays
+#: the same trace the same way every time.
+_PERMANENT_TYPES = (ConfigError, ValidationError, WorkloadError, InvariantViolation)
 
 
 def classify_error(error: BaseException) -> ErrorKind:

@@ -8,6 +8,7 @@ every experiment is exactly reproducible run-to-run.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
@@ -53,3 +54,23 @@ class DeterministicRng:
     def fork(self, salt: int) -> "DeterministicRng":
         """Derive an independent generator, stable for a given salt."""
         return DeterministicRng((self._seed * 1_000_003 + salt) & 0x7FFF_FFFF)
+
+    def stream(self, name: str) -> "DeterministicRng":
+        """Derive an independent generator keyed by a string label."""
+        return self.fork(zlib.crc32(name.encode("utf-8")))
+
+
+def named_stream(name: str, seed: int = 0) -> DeterministicRng:
+    """Return the seeded stream for a named stochastic site.
+
+    Every random-eviction (or otherwise stochastic) path in the system
+    draws from a stream obtained here, keyed by a stable site label such
+    as ``"cbws.history-table"``.  The function is pure — two calls with
+    the same ``(name, seed)`` return generators that produce identical
+    sequences, and there is no module-level generator whose state one
+    caller could perturb for another.  That purity is what makes
+    differential runs (implementation vs oracle) reproducible: both
+    sides construct the same stream independently and observe the same
+    draws.
+    """
+    return DeterministicRng(seed).stream(name)

@@ -16,7 +16,7 @@ from typing import Sequence
 from repro.common.bitops import bit_select, fold_xor, mask
 from repro.common.constants import CBWS_HASH_BITS
 from repro.common.errors import ConfigError
-from repro.common.rng import DeterministicRng
+from repro.common.rng import DeterministicRng, named_stream
 
 
 def hash_differential(delta: Sequence[int], hash_bits: int = CBWS_HASH_BITS) -> int:
@@ -115,7 +115,11 @@ class DifferentialHistoryTable:
         self.entries = entries
         self.tag_bits = tag_bits
         self._tag_mask = mask(tag_bits)
-        self._rng = rng or DeterministicRng(0xCB35)
+        # Default replacement randomness comes from a *named* seeded
+        # stream, never module-level RNG state: two tables constructed
+        # the same way must evict identically so differential runs
+        # (implementation vs oracle) reproduce bit-for-bit.
+        self._rng = rng or named_stream("cbws.history-table", 0xCB35)
         self._table: OrderedDict[int, tuple[int, ...]] = OrderedDict()
         self.lookups = 0
         self.hits = 0

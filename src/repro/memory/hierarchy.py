@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.check import invariants
 from repro.common.constants import DEFAULT_LINE_SIZE
 from repro.common.errors import ConfigError
 from repro.memory.cache import CacheConfig, EvictionRecord, SetAssociativeCache
@@ -93,6 +94,9 @@ class CacheHierarchy:
         self.l1 = SetAssociativeCache(config.l1)
         self.l2 = SetAssociativeCache(config.l2)
         self.stats = HierarchyStats()
+        # Read once at construction (same contract as obs profiling):
+        # when off, every fill path pays a single falsy attribute test.
+        self._invariant_checking = invariants.enabled()
 
     def demand_access(self, line: int) -> AccessResult:
         """Perform one committed load/store at line granularity."""
@@ -132,6 +136,8 @@ class CacheHierarchy:
         l1_victim = self.l1.insert(line)
         if l1_victim is not None:
             l1_evictions.append(l1_victim)
+        if self._invariant_checking:
+            invariants.check_hierarchy(self)
         return AccessResult(
             AccessOutcome.MEMORY,
             line,
@@ -186,6 +192,8 @@ class CacheHierarchy:
         l1_victim = l1.insert(line)
         if l1_victim is not None:
             evictions.append(l1_victim.line)
+        if self._invariant_checking:
+            invariants.check_hierarchy(self)
         return FAST_MEMORY
 
     def prefetch_fill_fast(self, line: int, evictions: list[int]) -> bool:
@@ -207,6 +215,8 @@ class CacheHierarchy:
             back = self.l1.invalidate(l2_victim.line)
             if back is not None:
                 evictions.append(back.line)
+        if self._invariant_checking:
+            invariants.check_hierarchy(self)
         return True
 
     def prefetch_fill(self, line: int) -> AccessResult | None:
@@ -227,6 +237,8 @@ class CacheHierarchy:
             back = self.l1.invalidate(l2_victim.line)
             if back is not None:
                 l1_evictions.append(back)
+        if self._invariant_checking:
+            invariants.check_hierarchy(self)
         return AccessResult(
             AccessOutcome.MEMORY,
             line,

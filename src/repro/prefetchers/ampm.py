@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.common.bitops import is_power_of_two, log2_exact
 from repro.common.errors import ConfigError
 from repro.prefetchers.base import DemandInfo, Prefetcher
+from repro.prefetchers.storage import ampm_storage
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,7 @@ class AmpmConfig:
     @property
     def storage_bits_total(self) -> int:
         """Per map: tag + accessed bitmap + prefetched bitmap."""
-        return self.map_entries * (self.tag_bits + 2 * self.zone_lines)
+        return ampm_storage(self).bits
 
 
 class AmpmPrefetcher(Prefetcher):

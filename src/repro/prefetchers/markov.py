@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.prefetchers.base import DemandInfo, Prefetcher
+from repro.prefetchers.storage import markov_storage
 
 
 @dataclass(frozen=True)
@@ -87,8 +88,7 @@ class MarkovPrefetcher(Prefetcher):
         return list(successors)
 
     def storage_bits(self) -> int:
-        per_entry = self.config.line_bits * (1 + self.config.successors)
-        return per_entry * self.config.table_entries
+        return markov_storage(self.config).bits
 
     def reset(self) -> None:
         self._table.clear()

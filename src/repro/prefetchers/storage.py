@@ -92,6 +92,20 @@ def sms_storage(config: Any) -> StorageEstimate:
     )
 
 
+def markov_storage(config: Any) -> StorageEstimate:
+    """(stored line + successor slots) per correlation-table entry."""
+    per_entry = config.line_bits * (1 + config.successors)
+    bits = per_entry * config.table_entries
+    return StorageEstimate("markov", bits, {"correlation table": bits})
+
+
+def ampm_storage(config: Any) -> StorageEstimate:
+    """Per access map: zone tag + accessed bitmap + prefetched bitmap."""
+    per_map = config.tag_bits + 2 * config.zone_lines
+    bits = per_map * config.map_entries
+    return StorageEstimate("ampm", bits, {"access maps": bits})
+
+
 def cbws_storage(config: Any) -> StorageEstimate:
     """Figure 8 component sizes for the CBWS prefetcher.
 

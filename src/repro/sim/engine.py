@@ -44,6 +44,7 @@ from collections import deque
 from time import perf_counter
 
 from repro import obs
+from repro.check import invariants
 from repro.common.bitops import log2_exact
 from repro.prefetchers.base import DemandInfo, Prefetcher
 from repro.sim.config import SimConfig
@@ -101,6 +102,12 @@ class SimulationEngine:
         # observed, which keeps the per-event cost at zero when disabled.
         profiling = obs.enabled()
         run_started = perf_counter() if profiling else 0.0
+        # Invariant checking follows the same once-per-run contract; when
+        # off, the only cost is one falsy branch per access/block-end.
+        checking = invariants.enabled()
+        checked_events = 0
+        last_icount = 0
+        last_next_issue = 0.0
 
         stall = 0.0
         # Miss-window (interval-model) state: while a window is open, the
@@ -293,6 +300,27 @@ class SimulationEngine:
                         queued_add(cand)
                     if profiling:
                         obs.observe("sim.prefetch_queue.occupancy", len(queue))
+                if checking:
+                    checked_events += 1
+                    invariants.check_engine_state(
+                        event_index=checked_events,
+                        icount=icount,
+                        last_icount=last_icount,
+                        queue_length=len(queue),
+                        queued=queued,
+                        queue_members=set(queue),
+                        in_flight=in_flight,
+                        fill_heap=fill_heap,
+                        next_issue=next_issue,
+                        last_next_issue=last_next_issue,
+                        window_count=window_count,
+                        window_start_icount=window_start_icount,
+                        mshr_limit=mshr_limit,
+                        queue_capacity=queue_capacity,
+                        max_in_flight=max_in_flight,
+                    )
+                    last_icount = icount
+                    last_next_issue = next_issue
 
             elif kind == BLOCK_BEGIN:
                 on_block_begin(payload)
@@ -338,6 +366,27 @@ class SimulationEngine:
                         queued_add(cand)
                     if profiling:
                         obs.observe("sim.prefetch_queue.occupancy", len(queue))
+                if checking:
+                    checked_events += 1
+                    invariants.check_engine_state(
+                        event_index=checked_events,
+                        icount=icount,
+                        last_icount=last_icount,
+                        queue_length=len(queue),
+                        queued=queued,
+                        queue_members=set(queue),
+                        in_flight=in_flight,
+                        fill_heap=fill_heap,
+                        next_issue=next_issue,
+                        last_next_issue=last_next_issue,
+                        window_count=window_count,
+                        window_start_icount=window_start_icount,
+                        mshr_limit=mshr_limit,
+                        queue_capacity=queue_capacity,
+                        max_in_flight=max_in_flight,
+                    )
+                    last_icount = icount
+                    last_next_issue = next_issue
 
         # Close the final miss window before settling the clock.
         if window_start_icount >= 0:
@@ -421,6 +470,10 @@ class SimulationEngine:
 
         profiling = obs.enabled()
         run_started = perf_counter() if profiling else 0.0
+        checking = invariants.enabled()
+        checked_events = 0
+        last_icount = 0
+        last_next_issue = 0.0
 
         stall = 0.0
         window_start_icount = -1  # -1 means no open window
@@ -571,6 +624,27 @@ class SimulationEngine:
                     l2_hit=info_l2_hit,
                 )
                 enqueue_candidates(prefetcher.on_access(info), now)
+                if checking:
+                    checked_events += 1
+                    invariants.check_engine_state(
+                        event_index=checked_events,
+                        icount=event.icount,
+                        last_icount=last_icount,
+                        queue_length=len(queue),
+                        queued=queued,
+                        queue_members=set(queue),
+                        in_flight=in_flight,
+                        fill_heap=fill_heap,
+                        next_issue=next_issue,
+                        last_next_issue=last_next_issue,
+                        window_count=window_count,
+                        window_start_icount=window_start_icount,
+                        mshr_limit=mshr_limit,
+                        queue_capacity=queue_capacity,
+                        max_in_flight=max_in_flight,
+                    )
+                    last_icount = event.icount
+                    last_next_issue = next_issue
 
             elif kind == BLOCK_BEGIN:
                 prefetcher.on_block_begin(event.block_id)
@@ -578,6 +652,27 @@ class SimulationEngine:
                 issue_prefetches(now)
                 drain_completions(now)
                 enqueue_candidates(prefetcher.on_block_end(event.block_id), now)
+                if checking:
+                    checked_events += 1
+                    invariants.check_engine_state(
+                        event_index=checked_events,
+                        icount=event.icount,
+                        last_icount=last_icount,
+                        queue_length=len(queue),
+                        queued=queued,
+                        queue_members=set(queue),
+                        in_flight=in_flight,
+                        fill_heap=fill_heap,
+                        next_issue=next_issue,
+                        last_next_issue=last_next_issue,
+                        window_count=window_count,
+                        window_start_icount=window_start_icount,
+                        mshr_limit=mshr_limit,
+                        queue_capacity=queue_capacity,
+                        max_in_flight=max_in_flight,
+                    )
+                    last_icount = event.icount
+                    last_next_issue = next_issue
 
         # Close the final miss window before settling the clock.
         if window_start_icount >= 0:

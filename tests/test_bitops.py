@@ -103,3 +103,85 @@ class TestLineOf:
 
     def test_custom_shift(self):
         assert line_of(256, line_shift=7) == 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def test_line_size_128_consistency(self, address):
+        # line_shift=7 is the 128-byte-line geometry: every byte of a
+        # line maps to that line, and adjacent lines differ by one.
+        line = line_of(address, line_shift=7)
+        assert line == address >> 7
+        assert line_of((line << 7) + 127, line_shift=7) == line
+        assert line_of((line + 1) << 7, line_shift=7) == line + 1
+
+
+# Strides representable in the CBWS differential's 16-bit field.
+_strides = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+_deltas = st.lists(_strides, min_size=0, max_size=16)
+
+
+class TestHashDifferential:
+    """Property tests for the 12-bit CBWS differential hash."""
+
+    @given(_deltas)
+    def test_deterministic_and_in_range(self, delta):
+        from repro.core.history import hash_differential
+
+        first = hash_differential(tuple(delta))
+        assert first == hash_differential(tuple(delta))
+        assert 0 <= first <= mask(12)
+
+    def test_empty_reserves_all_ones(self):
+        from repro.core.history import hash_differential
+
+        assert hash_differential(()) == mask(12)
+        assert hash_differential((0,)) != mask(12)
+
+    def test_permutation_sensitive(self):
+        from repro.core.history import hash_differential
+
+        assert hash_differential((1, 2)) != hash_differential((2, 1))
+        assert hash_differential((64, 0, 0)) != hash_differential((0, 0, 64))
+
+    @given(_deltas)
+    def test_sixteen_bit_twos_complement_roundtrip(self, delta):
+        # Elements are encoded as 16-bit two's complement before
+        # hashing, so the hash is invariant under the 2^16 wraparound
+        # and the bit_select/sign_extend round trip is exact.
+        from repro.core.history import hash_differential
+
+        wrapped = tuple(d + (1 << 16) for d in delta)
+        assert hash_differential(tuple(delta)) == hash_differential(wrapped)
+        for d in delta:
+            assert sign_extend(bit_select(d, 16), 16) == d
+
+    def test_single_stride_distribution(self):
+        # Bit-select hashing must spread the common single-stride
+        # deltas: the 4096 12-bit buckets should not collapse.
+        from repro.core.history import hash_differential
+
+        hashes = {hash_differential((stride,)) for stride in range(1024)}
+        assert len(hashes) >= 1000
+
+    @given(_deltas, st.integers(min_value=4, max_value=16))
+    def test_custom_width(self, delta, bits):
+        from repro.core.history import hash_differential
+
+        assert 0 <= hash_differential(tuple(delta), bits) <= mask(bits)
+
+
+class TestDifferentialRoundTrip:
+    """differential / apply_differential invert each other (Eq. 2)."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                 min_size=1, max_size=16),
+        st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                 min_size=1, max_size=16),
+    )
+    def test_apply_inverts_differential(self, older, newer):
+        from repro.core.cbws import apply_differential, differential
+
+        delta = differential(older, newer)
+        length = min(len(older), len(newer))
+        assert len(delta) == length
+        assert apply_differential(older, delta) == tuple(newer[:length])

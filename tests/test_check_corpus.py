@@ -1,0 +1,104 @@
+"""Frozen regression corpus replay plus invariant wiring tests.
+
+The traces under ``tests/corpus/`` are committed artifacts: every tier-1
+run replays them through the differential harness (implementation vs
+oracle, fast vs reference engine, hierarchy vs model) with runtime
+invariants armed.  A divergence here means an algorithm changed
+behaviour without its oracle being updated — exactly the regression this
+corpus exists to catch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import invariants
+from repro.check.diff import diff_all
+from repro.common.errors import InvariantViolation
+from repro.harness.registry import PREFETCHER_FACTORIES
+from repro.memory.hierarchy import CacheHierarchy
+from repro.sim.config import REDUCED_CONFIG
+from repro.sim.engine import SimulationEngine
+from repro.trace.io import read_trace
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _corpus_paths():
+    paths = sorted(CORPUS_DIR.glob("*.trace"))
+    assert paths, f"frozen corpus missing under {CORPUS_DIR}"
+    return paths
+
+
+@pytest.mark.parametrize(
+    "path", _corpus_paths(), ids=lambda path: path.stem
+)
+def test_corpus_replays_with_zero_divergences(path):
+    trace = read_trace(path)
+    trace.validate()
+    divergences = diff_all(trace, engine_names=["cbws", "cbws+sms"])
+    assert divergences == [], "\n".join(str(d) for d in divergences)
+
+
+def test_corpus_runs_clean_under_invariants():
+    trace = read_trace(_corpus_paths()[0])
+    invariants.enable()
+    try:
+        for name in ("cbws", "cbws+sms", "stride"):
+            engine = SimulationEngine(
+                REDUCED_CONFIG, PREFETCHER_FACTORIES[name]()
+            )
+            engine.run(trace)  # raises InvariantViolation on any breach
+    finally:
+        invariants.disable()
+
+
+def test_invariants_disabled_by_default():
+    assert not invariants.enabled()
+
+
+def test_inclusion_breach_is_caught():
+    hierarchy = CacheHierarchy(REDUCED_CONFIG.hierarchy)
+    hierarchy._invariant_checking = True
+    hierarchy.l1._sets[0][99999] = False  # L1-resident, absent from L2
+    with pytest.raises(InvariantViolation, match="inclusive-L2"):
+        invariants.check_hierarchy(hierarchy)
+
+
+def test_occupancy_breach_is_caught():
+    hierarchy = CacheHierarchy(REDUCED_CONFIG.hierarchy)
+    ways = hierarchy.l1.config.associativity
+    target = hierarchy.l1._sets[0]
+    num_sets = len(hierarchy.l1._sets)
+    for extra in range(ways + 1):
+        line = extra * num_sets  # all map to set 0
+        target[line] = False
+        hierarchy.l2._sets[line & hierarchy.l2._index_mask][line] = False
+    with pytest.raises(InvariantViolation, match="associativity"):
+        invariants.check_hierarchy(hierarchy)
+
+
+def test_engine_state_check_catches_mshr_overflow():
+    with pytest.raises(InvariantViolation, match="MSHR"):
+        invariants.check_engine_state(
+            event_index=1, icount=10, last_icount=5,
+            queue_length=0, queued=set(), queue_members=set(),
+            in_flight={1: 5.0, 2: 6.0, 3: 7.0}, fill_heap=[(5.0, 1), (6.0, 2), (7.0, 3)],
+            next_issue=0.0, last_next_issue=0.0,
+            window_count=0, window_start_icount=-1,
+            mshr_limit=4, queue_capacity=8, max_in_flight=2,
+        )
+
+
+def test_engine_state_check_catches_orphaned_queue_member():
+    with pytest.raises(InvariantViolation, match="membership"):
+        invariants.check_engine_state(
+            event_index=1, icount=10, last_icount=5,
+            queue_length=1, queued={7, 8}, queue_members={7},
+            in_flight={}, fill_heap=[],
+            next_issue=0.0, last_next_issue=0.0,
+            window_count=0, window_start_icount=-1,
+            mshr_limit=4, queue_capacity=8, max_in_flight=2,
+        )

@@ -1,0 +1,107 @@
+"""Differential tests: implementations vs clean-room oracles.
+
+Every prefetcher with an oracle is replayed over real workload traces
+and the fuzzer's synthetic seeds; any divergence fails with the first
+mismatching event and a machine-state dump.  The hierarchy and both
+engine implementations are cross-checked the same way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.diff import (
+    DIFF_PREFETCHERS,
+    diff_all,
+    diff_engine,
+    diff_hierarchy,
+    diff_prefetcher,
+)
+from repro.check.fuzz import seed_traces
+from repro.check.oracles import ORACLE_FACTORIES, make_oracle
+from repro.workloads import build_trace, get_workload
+
+ORACLE_WORKLOADS = ["stencil-default", "429.mcf-ref", "canneal-simlarge"]
+
+
+@pytest.fixture(scope="module")
+def workload_traces():
+    return [
+        build_trace(get_workload(name), max_accesses=4000, seed=0)
+        for name in ORACLE_WORKLOADS
+    ]
+
+
+@pytest.fixture(scope="module")
+def synthetic_traces():
+    return seed_traces()
+
+
+class TestOracleRegistry:
+    def test_every_diff_prefetcher_has_an_oracle(self):
+        for name in DIFF_PREFETCHERS:
+            assert name in ORACLE_FACTORIES
+            assert make_oracle(name) is not None
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(KeyError):
+            make_oracle("definitely-not-a-prefetcher")
+
+
+class TestPrefetcherOracles:
+    @pytest.mark.parametrize("name", DIFF_PREFETCHERS)
+    def test_matches_on_workloads(self, name, workload_traces):
+        for trace in workload_traces:
+            divergence = diff_prefetcher(name, trace)
+            assert divergence is None, str(divergence)
+
+    @pytest.mark.parametrize("name", DIFF_PREFETCHERS)
+    def test_matches_on_synthetic_seeds(self, name, synthetic_traces):
+        for trace in synthetic_traces:
+            divergence = diff_prefetcher(name, trace)
+            assert divergence is None, str(divergence)
+
+
+class TestHierarchyOracle:
+    def test_matches_on_workloads(self, workload_traces):
+        for trace in workload_traces:
+            divergence = diff_hierarchy(trace)
+            assert divergence is None, str(divergence)
+
+    def test_matches_on_synthetic_seeds(self, synthetic_traces):
+        for trace in synthetic_traces:
+            divergence = diff_hierarchy(trace)
+            assert divergence is None, str(divergence)
+
+
+class TestEngineDiff:
+    @pytest.mark.parametrize("name", ["cbws", "cbws+sms", "sms"])
+    def test_fast_vs_reference_on_workloads(self, name, workload_traces):
+        for trace in workload_traces:
+            divergence = diff_engine(name, trace)
+            assert divergence is None, str(divergence)
+
+
+class TestDiffAll:
+    def test_clean_on_seed(self, synthetic_traces):
+        divergences = diff_all(
+            synthetic_traces[0], engine_names=["cbws"]
+        )
+        assert divergences == []
+
+
+class TestHarnessSensitivity:
+    """The harness must actually detect a wrong implementation."""
+
+    def test_oracle_with_wrong_degree_diverges(self, synthetic_traces):
+        from repro.check.oracles import StrideOracle
+
+        divergence = None
+        for trace in synthetic_traces:
+            divergence = diff_prefetcher(
+                "stride", trace, oracle_factory=lambda: StrideOracle(degree=1)
+            )
+            if divergence is not None:
+                break
+        assert divergence is not None
+        assert divergence.kind == "prefetcher"

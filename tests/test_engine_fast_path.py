@@ -115,13 +115,18 @@ class TestLineSizeDerivation:
         assert r128.llc_misses <= r64.llc_misses
 
     @pytest.mark.parametrize("line_size", [64, 128])
-    def test_fast_path_respects_line_size(self, line_size):
+    @pytest.mark.parametrize("prefetcher_name", sorted(PREFETCHER_FACTORIES))
+    def test_fast_path_respects_line_size(self, prefetcher_name, line_size):
+        # Every prefetcher config, both line geometries, checked through
+        # the differential harness: the fast path must stay bit-identical
+        # to the reference engine (results and hierarchy stats).
+        from repro.check.diff import config_with_line_size, diff_engine
+
         trace = _trace("462.libquantum-ref", budget=6000)
-        config = _config_with_line_size(line_size)
-        factory = PREFETCHER_FACTORIES["stride"]
-        fast = SimulationEngine(config, factory()).run(trace)
-        reference = SimulationEngine(config, factory()).run_reference(trace)
-        assert fast.to_dict() == reference.to_dict()
+        divergence = diff_engine(
+            prefetcher_name, trace, config=config_with_line_size(line_size)
+        )
+        assert divergence is None, str(divergence)
 
 
 class TestColumnarTrace:

@@ -1,11 +1,12 @@
-"""Tests for the synthetic address space allocator."""
+"""Tests for the synthetic address space allocator and loop synthesis."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.constants import DEFAULT_LINE_SIZE
-from repro.common.errors import WorkloadError
-from repro.trace.synth import AddressSpace
+from repro.common.errors import ConfigError, WorkloadError
+from repro.trace.events import BLOCK_BEGIN, BLOCK_END, MEMORY_ACCESS
+from repro.trace.synth import AddressSpace, LoopSpec, synthesize_loop_trace
 
 
 class TestAllocation:
@@ -73,3 +74,70 @@ class TestSeparationProperty:
                     f"line {line} shared by {line_owner[line]} and {alloc.name}"
                 )
                 line_owner[line] = alloc.name
+
+
+class TestLoopSpec:
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigError, match="zero-length loop"):
+            LoopSpec(block_id=1, base=0x1000, stride=64,
+                     accesses=4, iterations=0)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ConfigError, match="zero-length loop"):
+            LoopSpec(block_id=1, base=0x1000, stride=64,
+                     accesses=4, iterations=-3)
+
+    def test_zero_accesses_rejected(self):
+        with pytest.raises(ConfigError, match="zero-length loop body"):
+            LoopSpec(block_id=1, base=0x1000, stride=64,
+                     accesses=0, iterations=4)
+
+    def test_backwards_walk_may_not_underflow(self):
+        with pytest.raises(ConfigError):
+            LoopSpec(block_id=1, base=64, stride=-64,
+                     accesses=4, iterations=4)
+
+    def test_valid_spec_accepted(self):
+        spec = LoopSpec(block_id=1, base=0x1000, stride=64,
+                        accesses=4, iterations=4)
+        assert spec.iterations == 4
+
+
+class TestSynthesizeLoopTrace:
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize_loop_trace([])
+
+    def test_shape_and_validity(self):
+        trace = synthesize_loop_trace(
+            [LoopSpec(block_id=3, base=0x2000, stride=64,
+                      accesses=5, iterations=7)],
+            name="shape",
+        )
+        trace.validate()  # markers balanced, icounts strictly monotone
+        kinds = [event.kind for event in trace.events]
+        assert kinds.count(BLOCK_BEGIN) == 7
+        assert kinds.count(BLOCK_END) == 7
+        assert kinds.count(MEMORY_ACCESS) == 35
+
+    def test_walk_continues_across_iterations(self):
+        trace = synthesize_loop_trace(
+            [LoopSpec(block_id=1, base=0, stride=64,
+                      accesses=2, iterations=3)],
+        )
+        addresses = [
+            event.address for event in trace.events
+            if event.kind == MEMORY_ACCESS
+        ]
+        assert addresses == [0, 64, 128, 192, 256, 320]
+
+    def test_write_every_marks_stores(self):
+        trace = synthesize_loop_trace(
+            [LoopSpec(block_id=1, base=0x1000, stride=64,
+                      accesses=3, iterations=2, write_every=3)],
+        )
+        writes = [
+            event.is_write for event in trace.events
+            if event.kind == MEMORY_ACCESS
+        ]
+        assert writes == [False, False, True, False, False, True]
