@@ -61,7 +61,21 @@ from repro.workloads import (
     get_workload,
 )
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Installed distribution version, falling back for src checkouts.
+
+    ``PYTHONPATH=src`` runs (tests, CI) have no installed distribution,
+    so the fallback literal below must track ``pyproject.toml``.
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "__version__",

@@ -11,6 +11,9 @@ Everything the examples and benches do, driveable from a shell::
     python -m repro inspect nw.trace
     python -m repro check --budget 30s --seed 7
     python -m repro exec-stats
+    python -m repro serve --port 8321 --jobs 4
+    python -m repro submit --workload nw --prefetcher cbws
+    python -m repro loadgen --quick
 
 Grid commands run through :mod:`repro.exec`: ``--jobs N`` simulates N
 cells concurrently on a worker pool (``--jobs 0``, the default, uses
@@ -443,6 +446,85 @@ def _cmd_check(args: argparse.Namespace) -> int:
         invariants.disable()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.http import main_serve
+
+    return main_serve(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import JobStatus, SimulateRequest
+    from repro.sim.results import SimResult
+
+    request = SimulateRequest(
+        workload=args.workload,
+        prefetcher=args.prefetcher,
+        scale=args.scale,
+        budget_fraction=args.budget_fraction,
+        seed=args.seed,
+    )
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.stream:
+        view = client.submit(request)
+        terminal = None
+        if view.status.terminal:
+            terminal = view
+        else:
+            for event in client.stream_events(view.job_id,
+                                              timeout=args.timeout):
+                name = event.pop("_event")
+                if name == "terminal":
+                    from repro.serve.protocol import JobView
+
+                    terminal = JobView.from_dict(event["job"])
+                    break
+                print(f"  event: {name} {event.get('status', '')}",
+                      file=sys.stderr)
+        view = terminal if terminal is not None else client.job(view.job_id)
+    else:
+        view = client.run(request, timeout=args.timeout)
+
+    flags = []
+    if view.deduplicated:
+        flags.append("deduplicated")
+    if view.cache_hit:
+        flags.append("cache hit")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    if view.status is not JobStatus.DONE:
+        print(f"job {view.job_id}: {view.status.value}: {view.error}",
+              file=sys.stderr)
+        return 1
+    print(SimResult.from_dict(view.result).summary() + suffix)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.harness.bench import write_bench
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    if args.quick:
+        config = LoadgenConfig.quick(
+            host=args.host, port=args.port, seed=args.seed)
+    else:
+        config = LoadgenConfig(
+            host=args.host,
+            port=args.port,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            duplicate_ratio=args.duplicate_ratio,
+            seed=args.seed,
+            workloads=tuple(args.workloads.split(",")),
+            prefetchers=tuple(args.prefetchers.split(",")),
+            budget_fraction=args.budget_fraction,
+            scale=args.scale,
+        )
+    document = run_loadgen(config, announce=print)
+    write_bench(document, args.out)
+    print(f"\nwrote {args.out}")
+    return 1 if document["totals"]["failed"] else 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     trace = read_trace(args.path)
     trace.validate()
@@ -466,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Block Working Sets' (MICRO 2014)"
         ),
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
@@ -590,6 +676,100 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(verify_parser)
     verify_parser.set_defaults(handler=_cmd_verify_artifacts)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="expose the simulation grid as an HTTP API "
+             "(admission control, single-flight dedup, micro-batching)")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port; 0 picks a free one (default 8321)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes behind the broker "
+             "(0 = all cores; default 0)")
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="admission bound: queued+running jobs before the server "
+             "answers 429 (default 64)")
+    serve_parser.add_argument(
+        "--batch-window", type=float, default=0.02, metavar="SECONDS",
+        help="micro-batching gather window (default 0.02)")
+    serve_parser.add_argument(
+        "--batch-max", type=int, default=16, metavar="N",
+        help="largest micro-batch submitted to the pool (default 16)")
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell simulation timeout (default: none)")
+    _add_cache_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit one simulation to a running `repro serve`")
+    submit_parser.add_argument("--workload", required=True)
+    submit_parser.add_argument("--prefetcher", required=True)
+    submit_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload footprint/trip-count scale factor (default 1.0)")
+    submit_parser.add_argument(
+        "--budget-fraction", type=float, default=1.0,
+        help="fraction of the workload's access budget (default 1.0)")
+    submit_parser.add_argument(
+        "--seed", type=int, default=0, help="workload data seed (default 0)")
+    submit_parser.add_argument(
+        "--host", default="127.0.0.1", help="server address")
+    submit_parser.add_argument(
+        "--port", type=int, default=8321, help="server port (default 8321)")
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the result (default 600)")
+    submit_parser.add_argument(
+        "--stream", action="store_true",
+        help="follow the job's SSE event stream instead of polling")
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a running `repro serve`; "
+             "emits schema-versioned BENCH_serve.json")
+    loadgen_parser.add_argument(
+        "--host", default="127.0.0.1", help="server address")
+    loadgen_parser.add_argument(
+        "--port", type=int, default=8321, help="server port (default 8321)")
+    loadgen_parser.add_argument(
+        "--quick", action="store_true",
+        help="the pinned CI smoke shape (12 requests, duplicate-heavy)")
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=40,
+        help="plan size before paired duplicates (default 40)")
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="closed-loop worker threads (default 4)")
+    loadgen_parser.add_argument(
+        "--duplicate-ratio", type=float, default=0.25,
+        help="fraction of items submitted twice back-to-back to "
+             "exercise single-flight (default 0.25)")
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="request-mix seed (default 0)")
+    loadgen_parser.add_argument(
+        "--workloads", default="nw,stencil-default",
+        help="comma-separated workload mix")
+    loadgen_parser.add_argument(
+        "--prefetchers", default="no-prefetch,stride,cbws",
+        help="comma-separated prefetcher mix")
+    loadgen_parser.add_argument(
+        "--budget-fraction", type=float, default=0.05,
+        help="budget fraction of every request (default 0.05)")
+    loadgen_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor of every request (default 1.0)")
+    loadgen_parser.add_argument(
+        "--out", default="BENCH_serve.json", metavar="PATH",
+        help="where to write the document (default BENCH_serve.json)")
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
+
     return parser
 
 
@@ -608,6 +788,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Workers flush the journal per record (fsync'd) and telemetry in
+        # their own finally blocks, so the interrupt just needs the
+        # conventional exit status.
+        print("interrupted", file=sys.stderr)
+        return 130
     if profiling:
         print()
         print(obs.render())

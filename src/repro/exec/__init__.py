@@ -21,6 +21,7 @@ scope, so the harness can import it freely.
 ``telemetry``  counters, per-task wall times, ETA, persistence
 ``journal``    write-ahead run journal + resume replay
 ``faults``     deterministic fault injection for the test suite
+``singleflight`` key -> in-flight-work dedup registry (serve broker)
 ============== ==========================================================
 """
 
@@ -45,8 +46,9 @@ from repro.exec.keys import (
     trace_key,
 )
 from repro.exec.plan import GridPlan, SimNode, TraceNode
-from repro.exec.pool import InjectSpec
+from repro.exec.pool import InjectSpec, WorkerPool, trace_nbytes
 from repro.exec.scheduler import ExecOptions, execute_grid
+from repro.exec.singleflight import SingleFlight
 from repro.exec.telemetry import ExecTelemetry
 
 __all__ = [
@@ -64,7 +66,9 @@ __all__ = [
     "RunReplay",
     "RunSummary",
     "SimNode",
+    "SingleFlight",
     "TraceNode",
+    "WorkerPool",
     "execute_grid",
     "list_runs",
     "load_run",
@@ -76,4 +80,5 @@ __all__ = [
     "stable_hash",
     "trace_filename",
     "trace_key",
+    "trace_nbytes",
 ]

@@ -40,8 +40,29 @@ from repro.workloads.base import build_trace, get_workload
 
 #: Per-worker-process cache of deserialized traces, keyed by file path
 #: (paths are content-addressed, so a path's contents never change).
+#: Bounded two ways: by entry count, and by estimated total bytes so a
+#: grid of huge traces cannot OOM a worker that a grid of small traces
+#: would sail through.
 _TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
 _TRACE_CACHE_CAPACITY = 4
+
+#: Total-bytes bound on the per-worker trace cache, tunable via
+#: ``$REPRO_TRACE_CACHE_BYTES`` (default 256 MiB).  The most recently
+#: used trace is always retained even when it alone exceeds the bound,
+#: so repeated sims of one oversized workload still hit.
+_TRACE_CACHE_MAX_BYTES = int(
+    os.environ.get("REPRO_TRACE_CACHE_BYTES", str(256 * 1024 * 1024))
+)
+
+#: Rough per-event heap cost of a deserialized ``TraceEvent`` (a small
+#: Python object plus list slot); used to estimate cache footprint
+#: without walking every object graph.
+_EVENT_NBYTES_ESTIMATE = 160
+
+
+def trace_nbytes(trace: Trace) -> int:
+    """Estimated heap footprint of one in-memory trace."""
+    return 1024 + len(trace.events) * _EVENT_NBYTES_ESTIMATE
 
 
 @dataclass(frozen=True)
@@ -202,6 +223,10 @@ def _remember_trace(path: str, trace: Trace) -> None:
     _TRACE_CACHE.move_to_end(path)
     while len(_TRACE_CACHE) > _TRACE_CACHE_CAPACITY:
         _TRACE_CACHE.popitem(last=False)
+    total = sum(trace_nbytes(cached) for cached in _TRACE_CACHE.values())
+    while total > _TRACE_CACHE_MAX_BYTES and len(_TRACE_CACHE) > 1:
+        _, evicted = _TRACE_CACHE.popitem(last=False)
+        total -= trace_nbytes(evicted)
 
 
 class WorkerPool:

@@ -190,6 +190,7 @@ def execute_grid(
     telemetry: ExecTelemetry | None = None,
     journal: RunJournal | None = None,
     carried: RunReplay | None = None,
+    pool: WorkerPool | None = None,
 ) -> tuple[dict[tuple[str, str], SimResult], ExecTelemetry]:
     """Execute a grid plan; returns (results by cell, telemetry).
 
@@ -210,6 +211,12 @@ def execute_grid(
         carried: a prior run's replayed state (``--resume``): completed
             cells count as resumed when the cache still holds them, and
             quarantine/degradation decisions carry forward.
+        pool: an externally owned :class:`WorkerPool` to submit into
+            instead of creating (and tearing down) a private one — the
+            serve broker batches many small grids through one long-lived
+            pool this way.  The caller keeps ownership: the pool is left
+            running on return (its worker count also overrides
+            ``options.jobs`` on the pool path).
     """
     options = options or ExecOptions()
     jobs = options.effective_jobs()
@@ -266,6 +273,10 @@ def execute_grid(
                 )
         misses.append(node)
 
+    if pool is not None and jobs <= 1:
+        # A borrowed pool implies the pool path even for one worker —
+        # the owner sized it deliberately.
+        jobs = max(jobs, pool.jobs)
     try:
         if misses:
             if jobs <= 1:
@@ -275,7 +286,7 @@ def execute_grid(
             else:
                 _run_pool(plan, misses, results, cache, state,
                           trace_dir, dict(inject or {}), options, progress,
-                          jobs)
+                          jobs, shared_pool=pool)
     finally:
         telemetry.finish()
         telemetry_module.LAST_RUN = telemetry
@@ -447,6 +458,7 @@ def _run_pool(
     options: ExecOptions,
     progress: Progress | None,
     jobs: int,
+    shared_pool: WorkerPool | None = None,
 ) -> None:
     telemetry = state.telemetry
     temporary = (tempfile.TemporaryDirectory(prefix="repro-exec-")
@@ -456,7 +468,7 @@ def _run_pool(
 
     groups = _group_by_workload(misses)
     waiting: dict[str, list[SimNode]] = {w: list(n) for w, n in groups.items()}
-    pool = WorkerPool(jobs)
+    pool = shared_pool if shared_pool is not None else WorkerPool(jobs)
     active: list[_TaskState] = []
     # After a pool break the culprit is ambiguous (every in-flight future
     # dies), so suspects are re-run one at a time: a repeat crash then
@@ -703,7 +715,8 @@ def _run_pool(
                         telemetry.tasks_queued += 1
                         dispatch(task)
     finally:
-        pool.shutdown()
+        if shared_pool is None:
+            pool.shutdown()
         if temporary is not None:
             temporary.cleanup()
 

@@ -42,9 +42,11 @@ from repro.obs.probe import (
     phase,
     record_seconds,
     reset,
+    set_gauge,
     snapshot,
     timed,
 )
+from repro.obs.prometheus import parse_prometheus, render_prometheus
 from repro.obs.report import render
 
 __all__ = [
@@ -55,10 +57,13 @@ __all__ = [
     "enable",
     "enabled",
     "observe",
+    "parse_prometheus",
     "phase",
     "record_seconds",
     "render",
+    "render_prometheus",
     "reset",
+    "set_gauge",
     "snapshot",
     "timed",
 ]

@@ -91,6 +91,7 @@ class ValueStat:
 _PHASES: dict[str, PhaseStat] = {}
 _COUNTERS: dict[str, float] = {}
 _VALUES: dict[str, ValueStat] = {}
+_GAUGES: dict[str, float] = {}
 
 
 def enable() -> None:
@@ -120,6 +121,7 @@ def reset() -> None:
         _PHASES.clear()
         _COUNTERS.clear()
         _VALUES.clear()
+        _GAUGES.clear()
 
 
 def add(name: str, value: float = 1) -> None:
@@ -162,6 +164,17 @@ def observe(name: str, value: float) -> None:
         with _LOCK:
             stat = _VALUES.setdefault(name, ValueStat(name))
     stat.record(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set the current value of gauge ``name`` (no-op while disabled).
+
+    Gauges are point-in-time levels (queue depth, in-flight jobs) as
+    opposed to monotone counters; each call overwrites the last value.
+    """
+    if not _ENABLED:
+        return
+    _GAUGES[name] = float(value)
 
 
 @contextmanager
@@ -208,7 +221,8 @@ def snapshot() -> dict[str, Any]:
         {"phases": {name: {count, total_seconds, min_seconds,
                            max_seconds}},
          "counters": {name: value},
-         "values": {name: {count, total, mean, min, max}}}
+         "values": {name: {count, total, mean, min, max}},
+         "gauges": {name: value}}
     """
     with _LOCK:
         return {
@@ -217,4 +231,5 @@ def snapshot() -> dict[str, Any]:
             "counters": dict(sorted(_COUNTERS.items())),
             "values": {name: stat.to_dict()
                        for name, stat in sorted(_VALUES.items())},
+            "gauges": dict(sorted(_GAUGES.items())),
         }

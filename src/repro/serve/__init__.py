@@ -1,0 +1,63 @@
+"""Simulation-as-a-service: the grid behind an asyncio HTTP API.
+
+Layout::
+
+    protocol    versioned wire types (SimulateRequest, JobView, errors)
+    broker      admission control, single-flight dedup, micro-batching
+    http        hand-rolled asyncio HTTP/1.1 server + SSE streaming
+    client      blocking stdlib client (CLI + tests drive this)
+    loadgen     closed-loop load generator emitting BENCH_serve.json
+
+The broker is the core: it turns individual ``POST /v1/simulate``
+requests into batched :class:`~repro.exec.scheduler.GridPlan`
+executions on one persistent worker pool, deduplicating identical
+in-flight requests by content-addressed key and serving result-cache
+hits without touching the pool at all.
+"""
+
+from repro.serve.broker import AdmissionFull, Broker, Draining, UnknownJob
+from repro.serve.client import (
+    JobNotFound,
+    ServeClient,
+    ServeClientError,
+    ServerBusy,
+    ServerDraining,
+)
+from repro.serve.http import HttpServer, ThreadedServer, run_server
+from repro.serve.loadgen import (
+    SERVE_BENCH_SCHEMA,
+    SERVE_BENCH_SCHEMA_VERSION,
+    LoadgenConfig,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    JobStatus,
+    JobView,
+    ProtocolError,
+    SimulateRequest,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVE_BENCH_SCHEMA",
+    "SERVE_BENCH_SCHEMA_VERSION",
+    "AdmissionFull",
+    "Broker",
+    "Draining",
+    "HttpServer",
+    "JobNotFound",
+    "JobStatus",
+    "JobView",
+    "LoadgenConfig",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServerBusy",
+    "ServerDraining",
+    "SimulateRequest",
+    "ThreadedServer",
+    "UnknownJob",
+    "run_loadgen",
+    "run_server",
+]

@@ -1,0 +1,493 @@
+"""The request broker: admission, single-flight, batching, drain.
+
+One :class:`Broker` owns the path from a validated
+:class:`~repro.serve.protocol.SimulateRequest` to a terminal job:
+
+1. **Admission.**  ``submit`` is synchronous on the event loop.  A
+   bounded count of non-terminal jobs (``max_pending``) provides
+   backpressure: overflow raises :class:`AdmissionFull`, which the HTTP
+   layer turns into ``429`` with a ``Retry-After`` estimated from
+   recent job wall times.  During drain, :class:`Draining` maps to
+   ``503``.
+2. **Single-flight.**  Jobs are identified by the content-addressed
+   :func:`~repro.exec.keys.sim_key` of their fully resolved request.  A
+   request whose key is already in flight attaches to the leader job
+   (via :class:`repro.exec.SingleFlight`) instead of queueing duplicate
+   work — the second of two concurrent identical submits costs nothing.
+3. **Micro-batching.**  A background task drains the admission queue,
+   gathers up to ``batch_max`` jobs inside a ``batch_window`` seconds
+   window, groups them by compatibility (identical trace parameters and
+   machine config), and executes each group as *one*
+   :class:`~repro.exec.plan.GridPlan` through
+   :func:`~repro.exec.scheduler.execute_grid` — sharing trace builds
+   across the batch exactly like a CLI grid run.  With ``workers > 1``
+   the broker owns a persistent :class:`~repro.exec.pool.WorkerPool`
+   that every batch submits into, so worker startup is paid once per
+   server, not once per request.
+4. **Caching.**  ``execute_grid`` probes the same content-addressed
+   :class:`~repro.exec.cache.ResultCache` the CLI uses; a repeated
+   request is a pure cache read and never touches the pool.
+5. **Drain.**  ``begin_drain`` stops admission; :meth:`drain` waits for
+   every in-flight job, shuts the pool down, and flushes a telemetry
+   snapshot next to the cache — SIGTERM maps onto exactly this
+   sequence.
+
+Results are bit-identical to ``repro run`` for the same cell: the
+broker feeds the identical plan/config/seed into the identical engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.common.errors import ReproError
+from repro.exec import ExecOptions, GridPlan, ResultCache, SingleFlight
+from repro.exec.keys import stable_hash
+from repro.exec.pool import WorkerPool
+from repro.exec.scheduler import execute_grid
+from repro.serve.protocol import JobStatus, JobView, SimulateRequest
+from repro.sim.config import REDUCED_CONFIG, SimConfig
+from repro.sim.results import SimResult
+
+
+class AdmissionFull(ReproError):
+    """The bounded admission queue is full; retry after a while."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Draining(ReproError):
+    """The server is draining and no longer admits new work."""
+
+
+class UnknownJob(ReproError):
+    """No job with the requested id exists (or it was evicted)."""
+
+
+@dataclass
+class ServeJob:
+    """Broker-internal state of one admitted simulation job."""
+
+    job_id: str
+    key: str
+    request: SimulateRequest
+    config: SimConfig
+    status: JobStatus = JobStatus.QUEUED
+    cache_hit: bool | None = None
+    result: SimResult | None = None
+    error: str | None = None
+    submitted_monotonic: float = field(default_factory=time.monotonic)
+    wall_seconds: float | None = None
+    #: Every progress event emitted so far (replayed to new SSE readers).
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: Live SSE readers; each gets every new event.
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def cell(self) -> tuple[str, str]:
+        return (self.request.workload, self.request.prefetcher)
+
+    def view(self, deduplicated: bool = False) -> JobView:
+        """The externally visible snapshot of this job."""
+        return JobView(
+            job_id=self.job_id,
+            status=self.status,
+            workload=self.request.workload,
+            prefetcher=self.request.prefetcher,
+            key=self.key,
+            deduplicated=deduplicated,
+            cache_hit=self.cache_hit,
+            wall_seconds=self.wall_seconds,
+            result=(self.result.to_dict()
+                    if self.result is not None else None),
+            error=self.error,
+        )
+
+
+#: Terminal jobs kept around for polling before FIFO eviction.
+JOB_HISTORY_LIMIT = 1024
+
+
+class Broker:
+    """Admission control + single-flight + batched execution."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        base_config: SimConfig = REDUCED_CONFIG,
+        max_pending: int = 64,
+        batch_window: float = 0.02,
+        batch_max: int = 16,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.base_config = base_config
+        self.max_pending = max_pending
+        self.batch_window = batch_window
+        self.batch_max = max(1, batch_max)
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+
+        self._cache = (ResultCache(self.cache_dir / "results")
+                       if self.cache_dir is not None else None)
+        self._pool = (WorkerPool(self.workers)
+                      if self.workers > 1 else None)
+        self._singleflight: SingleFlight[ServeJob] = SingleFlight()
+        self._jobs: "dict[str, ServeJob]" = {}
+        self._history: deque[str] = deque()
+        self._queue: asyncio.Queue[ServeJob] = asyncio.Queue()
+        self._pending = 0
+        self._draining = False
+        self._batch_task: asyncio.Task | None = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+        #: Recent job wall times, for the Retry-After estimate.
+        self._recent_seconds: deque[float] = deque(maxlen=32)
+
+        self.counters: dict[str, int] = {
+            "serve.requests": 0,
+            "serve.deduplicated": 0,
+            "serve.rejected": 0,
+            "serve.completed": 0,
+            "serve.failed": 0,
+            "serve.cache_hits": 0,
+            "serve.batches": 0,
+            "serve.cells_executed": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batching loop (call from the server's event loop)."""
+        if self._batch_task is None:
+            self._batch_task = asyncio.create_task(self._batch_loop(),
+                                                   name="serve-batcher")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new work; in-flight jobs keep running."""
+        self._draining = True
+
+    async def drain(self) -> None:
+        """Finish every admitted job, then stop the batcher and pool."""
+        self.begin_drain()
+        await self._idle.wait()
+        if self._batch_task is not None:
+            self._batch_task.cancel()
+            try:
+                await self._batch_task
+            except asyncio.CancelledError:
+                pass
+            self._batch_task = None
+        if self._pool is not None:
+            await asyncio.to_thread(self._pool.shutdown)
+        self.flush_telemetry()
+
+    def flush_telemetry(self) -> None:
+        """Persist counters + probe snapshot next to the cache, if any."""
+        if self.cache_dir is None:
+            return
+        import json
+
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / "serve-stats.json"
+        document = {
+            "counters": dict(self.counters),
+            "singleflight": {"hits": self._singleflight.hits,
+                             "leaders": self._singleflight.leaders},
+            "obs": obs.snapshot(),
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, request: SimulateRequest) -> tuple[ServeJob, bool]:
+        """Admit one request; returns ``(job, deduplicated)``.
+
+        Raises:
+            Draining: the server no longer admits work.
+            AdmissionFull: backpressure — retry after ``.retry_after``.
+            ReproError: invalid workload/prefetcher/config (HTTP 400).
+        """
+        if self._draining:
+            raise Draining("server is draining; not admitting new work")
+        self.counters["serve.requests"] += 1
+
+        # Resolve early so bad names and bad configs fail at admission.
+        from repro.harness.registry import make_prefetcher
+        from repro.workloads import get_workload
+
+        get_workload(request.workload)
+        make_prefetcher(request.prefetcher)
+        config = request.resolve_config(self.base_config)
+        key = request.sim_key(self.base_config)
+
+        existing = self._singleflight.peek(key)
+        if existing is not None and not existing.status.terminal:
+            self.counters["serve.deduplicated"] += 1
+            return existing, True
+
+        if self._pending >= self.max_pending:
+            self.counters["serve.rejected"] += 1
+            raise AdmissionFull(
+                f"admission queue is full ({self._pending} job(s) pending, "
+                f"limit {self.max_pending})",
+                retry_after=self._retry_after_estimate(),
+            )
+
+        job = ServeJob(
+            job_id=uuid.uuid4().hex[:12],
+            key=key,
+            request=request,
+            config=config,
+        )
+        # Re-lease under the registry lock; the earlier peek was only a
+        # fast path and another leader cannot have appeared on this
+        # single-threaded loop, but lease() keeps the accounting honest.
+        leased, is_leader = self._singleflight.lease(key, lambda: job)
+        if not is_leader:
+            self.counters["serve.deduplicated"] += 1
+            return leased, True
+        self._jobs[job.job_id] = job
+        self._remember_history(job.job_id)
+        self._pending += 1
+        self._idle.clear()
+        self._queue.put_nowait(job)
+        self._emit(job, {"event": "queued", "job_id": job.job_id,
+                         "key": job.key})
+        self._publish_gauges()
+        return job, False
+
+    def job(self, job_id: str) -> ServeJob:
+        """Look one job up by id."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJob(f"no job {job_id!r}") from None
+
+    def _remember_history(self, job_id: str) -> None:
+        self._history.append(job_id)
+        while len(self._history) > JOB_HISTORY_LIMIT:
+            stale_id = self._history.popleft()
+            stale = self._jobs.get(stale_id)
+            if stale is not None and stale.status.terminal:
+                del self._jobs[stale_id]
+            elif stale is not None:
+                # Never evict a live job; push it back and stop.
+                self._history.appendleft(stale_id)
+                break
+
+    def _retry_after_estimate(self) -> float:
+        """Seconds a client should wait before retrying a 429."""
+        if not self._recent_seconds:
+            return 1.0
+        mean = sum(self._recent_seconds) / len(self._recent_seconds)
+        waves = max(1.0, self._pending / max(1, self.workers))
+        return max(1.0, round(mean * waves, 1))
+
+    # -- metrics ------------------------------------------------------------
+
+    def metrics(self) -> dict[str, dict[str, float]]:
+        """Counters + gauges for the ``/metrics`` endpoint."""
+        counters = dict(self.counters)
+        counters["serve.singleflight_hits"] = self._singleflight.hits
+        counters["serve.singleflight_leaders"] = self._singleflight.leaders
+        gauges = {
+            "serve.pending_jobs": float(self._pending),
+            "serve.queue_depth": float(self._queue.qsize()),
+            "serve.draining": 1.0 if self._draining else 0.0,
+            "serve.max_pending": float(self.max_pending),
+            "serve.workers": float(self.workers),
+        }
+        return {"counters": counters, "gauges": gauges}
+
+    def _publish_gauges(self) -> None:
+        if obs.enabled():
+            obs.set_gauge("serve.pending_jobs", self._pending)
+            obs.set_gauge("serve.queue_depth", self._queue.qsize())
+
+    # -- events -------------------------------------------------------------
+
+    def _emit(self, job: ServeJob, event: dict[str, Any]) -> None:
+        event = dict(event)
+        event.setdefault("status", job.status.value)
+        job.events.append(event)
+        for queue in list(job.subscribers):
+            queue.put_nowait(event)
+
+    def subscribe(self, job: ServeJob) -> asyncio.Queue:
+        """Attach one SSE reader; past events must be replayed by the
+        caller from ``job.events`` before reading the queue."""
+        queue: asyncio.Queue = asyncio.Queue()
+        job.subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, job: ServeJob, queue: asyncio.Queue) -> None:
+        try:
+            job.subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    # -- batching + execution ----------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.batch_max:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            for group in self._group_compatible(batch):
+                try:
+                    await self._execute_batch(group)
+                except Exception as error:  # defensive: never kill the loop
+                    for failed in group:
+                        if not failed.status.terminal:
+                            self._finish(failed, error=str(error))
+            self._publish_gauges()
+
+    @staticmethod
+    def _group_key(job: ServeJob) -> str:
+        request = job.request
+        return stable_hash("serve-group", request.scale,
+                           request.budget_fraction, request.seed, job.config)
+
+    def _group_compatible(self,
+                          batch: list[ServeJob]) -> list[list[ServeJob]]:
+        """Split one batch into groups that can share a GridPlan."""
+        groups: dict[str, list[ServeJob]] = {}
+        for job in batch:
+            groups.setdefault(self._group_key(job), []).append(job)
+        return list(groups.values())
+
+    async def _execute_batch(self, group: list[ServeJob]) -> None:
+        loop = asyncio.get_running_loop()
+        request = group[0].request
+        config = group[0].config
+        for job in group:
+            job.status = JobStatus.RUNNING
+            if self._cache is not None:
+                job.cache_hit = self._cache.contains(job.key)
+            self._emit(job, {"event": "running",
+                             "batch_size": len(group)})
+
+        plan = GridPlan(
+            [job.cell for job in group],
+            request.scale,
+            request.budget_fraction,
+            request.seed,
+            config,
+        )
+        options = ExecOptions(
+            jobs=self.workers,
+            timeout=self.task_timeout,
+            max_retries=self.max_retries,
+        )
+
+        by_cell = {job.cell: job for job in group}
+
+        def progress(workload: str, prefetcher: str) -> None:
+            # Called from the executor thread; hop back onto the loop.
+            job = by_cell.get((workload, prefetcher))
+            if job is not None:
+                loop.call_soon_threadsafe(
+                    self._emit, job, {"event": "cell-finished"})
+
+        trace_provider = (self._trace_provider(request, config)
+                          if self.workers <= 1 else None)
+        self.counters["serve.batches"] += 1
+        results, telemetry = await asyncio.to_thread(
+            execute_grid,
+            plan,
+            options=options,
+            cache=self._cache,
+            trace_dir=self.cache_dir,
+            trace_provider=trace_provider,
+            progress=progress,
+            pool=self._pool,
+        )
+
+        self.counters["serve.cells_executed"] += telemetry.sims_run
+        self.counters["serve.cache_hits"] += telemetry.cache_hits
+        quarantined = {entry["task"]: entry["reason"]
+                       for entry in telemetry.quarantined}
+        for job in group:
+            result = results.get(job.cell)
+            if result is not None:
+                self._finish(job, result=result)
+            else:
+                reason = quarantined.get(
+                    f"sim:{job.request.workload}:{job.request.prefetcher}",
+                    "cell did not produce a result",
+                )
+                self._finish(job, error=reason)
+
+    def _trace_provider(self, request: SimulateRequest, config: SimConfig):
+        """A GridRunner-backed trace source for the in-process path.
+
+        Reuses the runner module's bounded trace LRU and the on-disk
+        trace cache, so a long-lived single-worker server amortizes
+        trace construction across requests instead of rebuilding per
+        batch.
+        """
+        from repro.harness.runner import GridRunner
+
+        runner = GridRunner(
+            config=config,
+            scale=request.scale,
+            budget_fraction=request.budget_fraction,
+            seed=request.seed,
+            cache_dir=self.cache_dir,
+            jobs=1,
+            result_cache=False,
+        )
+        return runner.trace
+
+    def _finish(self, job: ServeJob, result: SimResult | None = None,
+                error: str | None = None) -> None:
+        job.wall_seconds = time.monotonic() - job.submitted_monotonic
+        self._recent_seconds.append(job.wall_seconds)
+        if result is not None:
+            job.result = result
+            job.status = JobStatus.DONE
+            self.counters["serve.completed"] += 1
+        else:
+            job.error = error or "unknown failure"
+            job.status = JobStatus.FAILED
+            self.counters["serve.failed"] += 1
+        self._singleflight.release(job.key)
+        self._pending = max(0, self._pending - 1)
+        if self._pending == 0:
+            self._idle.set()
+        self._emit(job, {"event": "terminal",
+                         "wall_seconds": job.wall_seconds,
+                         "error": job.error})
+        job.done.set()
+        if obs.enabled():
+            obs.observe("serve.job_seconds", job.wall_seconds)
+        self._publish_gauges()

@@ -95,3 +95,34 @@ class TestJsonExport:
         document = json.loads(path.read_text())
         assert document["results"][0]["workload"] == "nw"
         assert document["metadata"]["budget_fraction"] == 0.03
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_dunder_version_is_set(self):
+        import repro
+
+        major = repro.__version__.split(".")[0]
+        assert major.isdigit()
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        # build_parser runs inside main(), so the parser's handler
+        # default picks up the patched module global.
+        monkeypatch.setattr(cli, "_cmd_list", interrupted)
+        code = main(["list", "workloads"])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err

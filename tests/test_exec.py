@@ -412,3 +412,103 @@ class TestCliExec:
         code = main(["exec-stats", "--cache-dir", str(tmp_path / "empty")])
         assert code == 1
         assert "no recorded execution statistics" in capsys.readouterr().err
+
+
+class TestWorkerTraceCacheBytes:
+    """The per-worker trace LRU is bounded by estimated total bytes."""
+
+    def _fake_trace(self, events: int):
+        # trace_nbytes only looks at len(trace.events); a stand-in with
+        # that shape keeps these tests free of real trace construction.
+        class FakeTrace:
+            def __init__(self, count):
+                self.events = [None] * count
+
+        return FakeTrace(events)
+
+    def test_byte_bound_evicts_oldest(self, monkeypatch):
+        from repro.exec import pool
+
+        monkeypatch.setattr(pool, "_TRACE_CACHE_MAX_BYTES", 100_000)
+        monkeypatch.setattr(pool, "_TRACE_CACHE", pool.OrderedDict())
+        # Each ~33 KB trace fits; a fourth pushes the total over 100 KB.
+        trace = self._fake_trace(events=200)
+        assert 30_000 < pool.trace_nbytes(trace) < 40_000
+        for index in range(4):
+            pool._remember_trace(f"t{index}", self._fake_trace(events=200))
+        assert "t0" not in pool._TRACE_CACHE
+        assert "t3" in pool._TRACE_CACHE
+        total = sum(pool.trace_nbytes(t)
+                    for t in pool._TRACE_CACHE.values())
+        assert total <= 100_000
+
+    def test_single_oversized_trace_is_retained(self, monkeypatch):
+        from repro.exec import pool
+
+        monkeypatch.setattr(pool, "_TRACE_CACHE_MAX_BYTES", 1_000)
+        monkeypatch.setattr(pool, "_TRACE_CACHE", pool.OrderedDict())
+        pool._remember_trace("big", self._fake_trace(events=10_000))
+        # Over budget, but the most recent entry always survives so
+        # repeated sims of one oversized workload still hit the cache.
+        assert "big" in pool._TRACE_CACHE
+        pool._remember_trace("bigger", self._fake_trace(events=20_000))
+        assert "big" not in pool._TRACE_CACHE
+        assert "bigger" in pool._TRACE_CACHE
+
+    def test_count_bound_still_applies(self, monkeypatch):
+        from repro.exec import pool
+
+        monkeypatch.setattr(pool, "_TRACE_CACHE", pool.OrderedDict())
+        for index in range(pool._TRACE_CACHE_CAPACITY + 2):
+            pool._remember_trace(f"t{index}", self._fake_trace(events=1))
+        assert len(pool._TRACE_CACHE) == pool._TRACE_CACHE_CAPACITY
+
+
+class TestSingleFlight:
+    def test_leader_then_followers(self):
+        from repro.exec import SingleFlight
+
+        flight = SingleFlight()
+        work, is_leader = flight.lease("k", lambda: "payload")
+        assert is_leader and work == "payload"
+        again, still_leader = flight.lease("k", lambda: "other")
+        assert not still_leader and again == "payload"
+        assert flight.hits == 1 and flight.leaders == 1
+        assert flight.peek("k") == "payload"
+
+    def test_release_allows_fresh_lease(self):
+        from repro.exec import SingleFlight
+
+        flight = SingleFlight()
+        flight.lease("k", lambda: "first")
+        flight.release("k")
+        assert flight.peek("k") is None
+        work, is_leader = flight.lease("k", lambda: "second")
+        assert is_leader and work == "second"
+        assert flight.leaders == 2
+
+    def test_release_unknown_key_is_noop(self):
+        from repro.exec import SingleFlight
+
+        flight = SingleFlight()
+        flight.release("never-leased")
+        assert len(flight) == 0
+
+
+class TestSharedPool:
+    def test_execute_grid_reuses_borrowed_pool(self, tmp_path):
+        from repro.exec.pool import WorkerPool
+
+        pool = WorkerPool(2)
+        try:
+            plan = tiny_plan()
+            first, _ = execute_grid(plan, options=ExecOptions(jobs=2),
+                                    trace_dir=tmp_path, pool=pool)
+            second, _ = execute_grid(plan, options=ExecOptions(jobs=2),
+                                     trace_dir=tmp_path, pool=pool)
+            assert first.keys() == second.keys()
+            for cell in first:
+                assert first[cell].to_dict() == second[cell].to_dict()
+        finally:
+            pool.shutdown()
+        # The borrowed pool survived both runs; shutdown was ours alone.
