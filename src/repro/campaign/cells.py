@@ -1,0 +1,396 @@
+"""Campaign cells: one simulation point and how its parameters apply.
+
+A *cell* is the atomic unit of a campaign: one fully determined
+simulation — workload, (possibly parametrized) prefetcher name, trace
+identity (scale / budget_fraction / seed), and a sparse set of machine
+overrides.  Cells are content-addressed through the same
+:func:`repro.exec.keys.sim_key` as every other execution path, so a
+campaign cell, a ``repro grid`` cell, and a serve request that describe
+the same simulation share one cache entry.
+
+Parameter paths
+---------------
+
+Axes and constraints name parameters by dotted *path*.  The registry
+:data:`KNOWN_PARAMS` is the single source of truth; each path falls in
+one of three groups:
+
+*identity*
+    ``scale``, ``budget_fraction``, ``seed`` — trace identity fields.
+*config*
+    ``l1_kb``, ``l2_kb``, ``line_size``, ``l1.associativity``,
+    ``l1.mshrs``, ``l2.associativity``, ``l2.mshrs``, ``core.*``,
+    ``prefetch.*`` — sparse :class:`~repro.sim.config.SimConfig`
+    overrides.  ``l1_kb``/``l2_kb``/``core.*``/``prefetch.*`` resolve
+    with exactly the same ``dataclasses.replace`` semantics as the serve
+    protocol's :meth:`~repro.serve.protocol.SimulateRequest
+    .resolve_config`; the remaining cache-shape paths go beyond what the
+    wire protocol can express (see :func:`serve_inexpressible`).
+*prefetcher geometry*
+    ``cbws.*`` — CBWS geometry knobs.  These do not touch the machine
+    config at all: they fold into the prefetcher *name* as an inline
+    parameter block (``cbws[table_entries=64]``), which the registry's
+    :func:`~repro.harness.registry.make_prefetcher` understands
+    everywhere.  Applied to a non-parametric prefetcher (e.g. ``sms``)
+    they are no-ops, so all points along a cbws axis collapse to one
+    content key — the planner's dedup turns that into compute saved
+    rather than wasted baseline reruns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.common.errors import CampaignError, ConfigError
+from repro.harness.registry import (
+    CBWS_PARAM_FIELDS,
+    PARAMETRIC_FAMILIES,
+    canonical_prefetcher_name,
+    parse_prefetcher_name,
+)
+from repro.sim.config import REDUCED_CONFIG, SimConfig
+
+#: Identity (trace-key) parameter paths.
+IDENTITY_PARAMS = frozenset({"scale", "budget_fraction", "seed"})
+
+#: Machine-config parameter paths (sparse SimConfig overrides).
+CONFIG_PARAMS = frozenset({
+    "l1_kb",
+    "l2_kb",
+    "line_size",
+    "l1.associativity",
+    "l1.mshrs",
+    "l2.associativity",
+    "l2.mshrs",
+    "core.width",
+    "core.rob_entries",
+    "core.l1_latency",
+    "core.l2_latency",
+    "core.memory_latency",
+    "prefetch.queue_capacity",
+    "prefetch.issue_interval",
+    "prefetch.max_in_flight",
+})
+
+#: CBWS geometry paths (fold into the prefetcher name).
+CBWS_PARAMS = frozenset(f"cbws.{field}" for field in sorted(CBWS_PARAM_FIELDS))
+
+#: Every sweepable parameter path.
+KNOWN_PARAMS = IDENTITY_PARAMS | CONFIG_PARAMS | CBWS_PARAMS
+
+#: Config paths the serve wire protocol cannot express (cache shape is
+#: not part of the sparse-override schema).
+SERVE_INEXPRESSIBLE_PARAMS = frozenset({
+    "line_size",
+    "l1.associativity",
+    "l1.mshrs",
+    "l2.associativity",
+    "l2.mshrs",
+})
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully determined simulation point.
+
+    Attributes:
+        workload: workload name.
+        prefetcher: final (canonicalized, possibly parametrized) name.
+        scale / budget_fraction / seed: trace identity.
+        overrides: sorted ``(path, value)`` machine-config overrides.
+        coords: sorted ``(axis, value)`` point that produced this cell —
+            kept for reporting and refinement, not part of the content
+            key (the resolved config is).
+        wave: 0 for the initial sweep, ``n`` for refinement wave *n*.
+    """
+
+    workload: str
+    prefetcher: str
+    scale: float = 1.0
+    budget_fraction: float = 1.0
+    seed: int = 0
+    overrides: tuple[tuple[str, int], ...] = ()
+    coords: tuple[tuple[str, Any], ...] = ()
+    wave: int = 0
+
+    def key(self, base: SimConfig = REDUCED_CONFIG) -> str:
+        """Content-addressed identity of this cell's result."""
+        from repro.exec.keys import sim_key
+
+        return sim_key(
+            self.workload,
+            self.prefetcher,
+            self.scale,
+            self.budget_fraction,
+            self.seed,
+            resolve_cell_config(self.overrides, base),
+        )
+
+    def coord(self, axis: str, default: Any = None) -> Any:
+        """The value this cell takes on one axis."""
+        for name, value in self.coords:
+            if name == axis:
+                return value
+        return default
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "workload": self.workload,
+            "prefetcher": self.prefetcher,
+            "scale": self.scale,
+            "budget_fraction": self.budget_fraction,
+            "seed": self.seed,
+            "overrides": [[path, value] for path, value in self.overrides],
+            "coords": [[axis, value] for axis, value in self.coords],
+            "wave": self.wave,
+        }
+
+    @classmethod
+    def from_dict(cls, body: Mapping[str, Any]) -> "CampaignCell":
+        """Rebuild a cell from its journaled form."""
+        try:
+            return cls(
+                workload=body["workload"],
+                prefetcher=body["prefetcher"],
+                scale=float(body["scale"]),
+                budget_fraction=float(body["budget_fraction"]),
+                seed=int(body["seed"]),
+                overrides=tuple(
+                    (path, value) for path, value in body["overrides"]
+                ),
+                coords=tuple(
+                    (axis, value) for axis, value in body["coords"]
+                ),
+                wave=int(body.get("wave", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CampaignError(
+                f"malformed journaled cell {body!r}: {error}"
+            ) from None
+
+
+def resolve_cell_config(
+    overrides: tuple[tuple[str, int], ...] | Mapping[str, int],
+    base: SimConfig = REDUCED_CONFIG,
+) -> SimConfig:
+    """Apply sparse config overrides to ``base``.
+
+    ``l1_kb`` / ``l2_kb`` / ``core.*`` / ``prefetch.*`` use the same
+    replace semantics as the serve protocol's ``resolve_config`` — the
+    resolved configs (and therefore the sim keys) are identical for the
+    paths both can express.  Field validation happens in the config
+    dataclasses' own ``__post_init__``.
+    """
+    mapping = dict(overrides)
+    unknown = set(mapping) - CONFIG_PARAMS
+    if unknown:
+        raise CampaignError(
+            f"unknown config override path(s): {', '.join(sorted(unknown))}"
+        )
+    core_fields = {
+        path.split(".", 1)[1]: value
+        for path, value in mapping.items() if path.startswith("core.")
+    }
+    prefetch_fields = {
+        path.split(".", 1)[1]: value
+        for path, value in mapping.items() if path.startswith("prefetch.")
+    }
+    core = (dataclasses.replace(base.core, **core_fields)
+            if core_fields else base.core)
+    prefetch = (dataclasses.replace(base.prefetch, **prefetch_fields)
+                if prefetch_fields else base.prefetch)
+
+    l1_fields: dict[str, int] = {}
+    l2_fields: dict[str, int] = {}
+    if "l1_kb" in mapping:
+        l1_fields["size_bytes"] = mapping["l1_kb"] * 1024
+    if "l2_kb" in mapping:
+        l2_fields["size_bytes"] = mapping["l2_kb"] * 1024
+    if "line_size" in mapping:
+        l1_fields["line_size"] = mapping["line_size"]
+        l2_fields["line_size"] = mapping["line_size"]
+    for path, value in mapping.items():
+        if path.startswith("l1."):
+            l1_fields[path.split(".", 1)[1]] = value
+        elif path.startswith("l2."):
+            l2_fields[path.split(".", 1)[1]] = value
+
+    hierarchy = base.hierarchy
+    if l1_fields:
+        hierarchy = dataclasses.replace(
+            hierarchy, l1=dataclasses.replace(hierarchy.l1, **l1_fields))
+    if l2_fields:
+        hierarchy = dataclasses.replace(
+            hierarchy, l2=dataclasses.replace(hierarchy.l2, **l2_fields))
+    return SimConfig(hierarchy=hierarchy, core=core, prefetch=prefetch)
+
+
+def build_cell(
+    workload: str,
+    prefetcher: str,
+    point: Mapping[str, Any],
+    *,
+    scale: float,
+    budget_fraction: float,
+    seed: int,
+    wave: int = 0,
+    base: SimConfig = REDUCED_CONFIG,
+) -> CampaignCell:
+    """One candidate cell from a (workload, prefetcher, axis-point).
+
+    Partitions the point's parameters into identity fields, config
+    overrides, and cbws geometry (folded into the prefetcher name; axis
+    values override a parameter block already present in the base
+    name).  The resolved config is validated here so an invalid corner
+    fails at *plan* time with the offending coordinates, not mid-run.
+    """
+    coords = tuple(sorted(point.items()))
+    unknown = set(point) - KNOWN_PARAMS
+    if unknown:
+        raise CampaignError(
+            f"unknown parameter path(s): {', '.join(sorted(unknown))}"
+        )
+    for path in IDENTITY_PARAMS & set(point):
+        value = point[path]
+        if path == "scale":
+            scale = float(value)
+        elif path == "budget_fraction":
+            budget_fraction = float(value)
+        else:
+            seed = int(value)
+
+    cbws_point = {
+        path.split(".", 1)[1]: int(point[path])
+        for path in CBWS_PARAMS & set(point)
+    }
+    try:
+        base_name, base_params = parse_prefetcher_name(prefetcher)
+        if cbws_point and base_name in PARAMETRIC_FAMILIES:
+            merged = {**base_params, **cbws_point}
+            body = ",".join(f"{k}={merged[k]}" for k in sorted(merged))
+            prefetcher = canonical_prefetcher_name(f"{base_name}[{body}]")
+        else:
+            prefetcher = canonical_prefetcher_name(prefetcher)
+    except ConfigError as error:
+        raise CampaignError(
+            f"cell {coords!r}: bad prefetcher {prefetcher!r}: {error}"
+        ) from None
+
+    overrides = tuple(sorted(
+        (path, int(point[path])) for path in CONFIG_PARAMS & set(point)
+    ))
+    cell = CampaignCell(
+        workload=workload,
+        prefetcher=prefetcher,
+        scale=scale,
+        budget_fraction=budget_fraction,
+        seed=seed,
+        overrides=overrides,
+        coords=coords,
+        wave=wave,
+    )
+    try:
+        resolve_cell_config(overrides, base)
+    except ConfigError as error:
+        raise CampaignError(
+            f"cell {coords!r} resolves to an invalid machine: {error}; "
+            "add a constraint to prune this corner"
+        ) from None
+    return cell
+
+
+def baseline_params(base: SimConfig = REDUCED_CONFIG) -> dict[str, Any]:
+    """Default value of every sweepable parameter path.
+
+    Constraint expressions evaluate against this namespace overlaid with
+    the candidate point, so a predicate may reference a parameter the
+    spec does not sweep (``is_pow2(line_size)`` holds — or not — at the
+    baseline too).
+    """
+    from repro.core.predictor import CbwsConfig
+
+    cbws = CbwsConfig()
+    return {
+        "scale": 1.0,
+        "budget_fraction": 1.0,
+        "seed": 0,
+        "l1_kb": base.hierarchy.l1.size_bytes // 1024,
+        "l2_kb": base.hierarchy.l2.size_bytes // 1024,
+        "line_size": base.hierarchy.l1.line_size,
+        "l1.associativity": base.hierarchy.l1.associativity,
+        "l1.mshrs": base.hierarchy.l1.mshrs,
+        "l2.associativity": base.hierarchy.l2.associativity,
+        "l2.mshrs": base.hierarchy.l2.mshrs,
+        "core.width": base.core.width,
+        "core.rob_entries": base.core.rob_entries,
+        "core.l1_latency": base.core.l1_latency,
+        "core.l2_latency": base.core.l2_latency,
+        "core.memory_latency": base.core.memory_latency,
+        "prefetch.queue_capacity": base.prefetch.queue_capacity,
+        "prefetch.issue_interval": base.prefetch.issue_interval,
+        "prefetch.max_in_flight": base.prefetch.max_in_flight,
+        **{
+            f"cbws.{field}": getattr(cbws, field)
+            for field in sorted(CBWS_PARAM_FIELDS)
+        },
+    }
+
+
+def serve_inexpressible(cell: CampaignCell) -> str | None:
+    """Why this cell cannot run through a serve endpoint (None if it can).
+
+    The wire protocol's sparse overrides cover cache *sizes* and the
+    core/prefetch scalars but not cache shape (line size, associativity,
+    MSHRs); cbws geometry always travels in the prefetcher name, which
+    serve accepts as-is.
+    """
+    blocked = sorted(
+        path for path, _ in cell.overrides
+        if path in SERVE_INEXPRESSIBLE_PARAMS
+    )
+    if blocked:
+        return (
+            f"override(s) {', '.join(blocked)} are not expressible in "
+            "the serve wire protocol; run this campaign with the grid "
+            "executor instead"
+        )
+    return None
+
+
+def cell_request_body(cell: CampaignCell) -> dict[str, Any]:
+    """The ``POST /v1/simulate`` body equivalent to this cell."""
+    reason = serve_inexpressible(cell)
+    if reason is not None:
+        raise CampaignError(reason)
+    from repro.serve.protocol import PROTOCOL_VERSION
+
+    config: dict[str, Any] = {}
+    core: dict[str, int] = {}
+    prefetch: dict[str, int] = {}
+    for path, value in cell.overrides:
+        if path == "l1_kb":
+            config["l1_kb"] = value
+        elif path == "l2_kb":
+            config["l2_kb"] = value
+        elif path.startswith("core."):
+            core[path.split(".", 1)[1]] = value
+        elif path.startswith("prefetch."):
+            prefetch[path.split(".", 1)[1]] = value
+    if core:
+        config["core"] = core
+    if prefetch:
+        config["prefetch"] = prefetch
+    body: dict[str, Any] = {
+        "version": PROTOCOL_VERSION,
+        "workload": cell.workload,
+        "prefetcher": cell.prefetcher,
+        "scale": cell.scale,
+        "budget_fraction": cell.budget_fraction,
+        "seed": cell.seed,
+    }
+    if config:
+        body["config"] = config
+    return body

@@ -1,0 +1,232 @@
+"""Adaptive refinement: subdivide axis intervals that matter.
+
+After a wave's results land, the campaign does not need uniformly finer
+sampling — it needs resolution exactly where the *answer changes*.  Two
+triggers mark an interval ``[a, b]`` between adjacent sampled values on
+a refine axis as interesting:
+
+*winner flip*
+    The ranking of the two competitor prefetcher families (e.g. CBWS vs
+    SMS on the response metric) differs at ``a`` and ``b`` — the
+    crossover point the paper's §VI sensitivity study hunts for by hand
+    lies somewhere inside.
+*gradient*
+    The relative change of a competitor's metric across the interval
+    exceeds ``gradient_threshold`` — the response surface is steep and
+    under-sampled even if the ranking holds.
+
+Each interesting interval contributes its midpoint (arithmetic on
+linear axes, geometric on log2 axes, snapped to int for integer axes)
+as a new sample point; points falling on an endpoint or inside
+``min_gap`` are converged and dropped.  The analysis is a *pure
+function* of spec + samples + results — resumed and uninterrupted
+campaigns therefore plan byte-identical refinement waves, which is what
+keeps ``campaign.json`` bit-identical across a crash.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.campaign.planner import CellSample
+from repro.campaign.spec import CampaignSpec, REFINE_METRICS
+from repro.harness.registry import parse_prefetcher_name
+
+#: Relative-gradient denominators are floored here so a near-zero
+#: baseline metric cannot manufacture an infinite gradient.
+_GRADIENT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RefineInterval:
+    """One interval selected for subdivision (report + journal record)."""
+
+    axis: str
+    workload: str
+    context: tuple[tuple[str, Any], ...]
+    lo: Any
+    hi: Any
+    midpoint: Any
+    reason: str  # "winner-flip" | "gradient"
+    detail: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "axis": self.axis,
+            "workload": self.workload,
+            "context": [[name, value] for name, value in self.context],
+            "lo": self.lo,
+            "hi": self.hi,
+            "midpoint": self.midpoint,
+            "reason": self.reason,
+            "detail": dict(self.detail),
+        }
+
+
+def _metric_value(result: Any, metric: str) -> float:
+    return float(getattr(result, metric))
+
+
+def _axis_midpoint(lo: Any, hi: Any, spacing: str,
+                   min_gap: float) -> Any | None:
+    """The subdivision point of ``[lo, hi]``, or None when converged."""
+    if hi - lo <= min_gap:
+        return None
+    if spacing == "log2":
+        midpoint: Any = math.sqrt(float(lo) * float(hi))
+    else:
+        midpoint = (float(lo) + float(hi)) / 2.0
+    if isinstance(lo, int) and isinstance(hi, int):
+        midpoint = int(round(midpoint))
+    if midpoint <= lo or midpoint >= hi:
+        return None
+    return midpoint
+
+
+def metric_surface(
+    samples: Iterable[CellSample],
+    results: Mapping[str, Any],
+    axis: str,
+    metric: str,
+) -> dict[tuple[str, tuple[tuple[str, Any], ...]], dict[str, dict[Any, float]]]:
+    """``(workload, context) -> competitor base -> {axis value: metric}``.
+
+    The context is every coordinate except the refine axis, so cells
+    varying only along ``axis`` land in one group.  Deduplicated
+    baseline samples (same key at every axis value) still contribute a
+    value per point — the surface is flat, which is exactly right.
+    """
+    surface: dict[
+        tuple[str, tuple[tuple[str, Any], ...]],
+        dict[str, dict[Any, float]],
+    ] = {}
+    for sample in samples:
+        value = sample.coord(axis)
+        if value is None:
+            continue
+        result = results.get(sample.key)
+        if result is None:
+            continue  # quarantined or not yet executed
+        context = tuple(
+            (name, coordinate) for name, coordinate in sample.coords
+            if name != axis
+        )
+        base, _ = parse_prefetcher_name(sample.prefetcher)
+        group = surface.setdefault((sample.workload, context), {})
+        group.setdefault(base, {})[value] = _metric_value(result, metric)
+    return surface
+
+
+def refine_wave(
+    spec: CampaignSpec,
+    samples: Iterable[CellSample],
+    results: Mapping[str, Any],
+    max_points: int,
+) -> tuple[list[dict[str, Any]], list[RefineInterval]]:
+    """New axis points (at most ``max_points``) and why each was chosen.
+
+    Deterministic: groups, intervals, and the resulting point list are
+    ordered by (axis, workload, context, lo); the same inputs always
+    yield the same subdivision.
+    """
+    policy = spec.refine
+    if not policy.enabled or max_points <= 0:
+        return [], []
+    direction = REFINE_METRICS[policy.metric]
+    first, second = policy.competitors
+    samples = list(samples)
+
+    intervals: list[RefineInterval] = []
+    for axis_name in policy.axes:
+        axis = spec.axis(axis_name)
+        surface = metric_surface(samples, results, axis_name, policy.metric)
+        for (workload, context) in sorted(surface):
+            competitors = surface[(workload, context)]
+            series_a = competitors.get(first, {})
+            series_b = competitors.get(second, {})
+            shared = sorted(set(series_a) & set(series_b))
+            for lo, hi in zip(shared, shared[1:]):
+                interval = _judge_interval(
+                    axis_name, axis.spacing, workload, context,
+                    lo, hi, series_a, series_b,
+                    first, second, direction, policy,
+                )
+                if interval is not None:
+                    intervals.append(interval)
+
+    points: list[dict[str, Any]] = []
+    seen: set[tuple[tuple[str, Any], ...]] = set()
+    for interval in intervals:
+        point = dict(interval.context)
+        point[interval.axis] = interval.midpoint
+        signature = tuple(sorted(point.items()))
+        if signature in seen:
+            continue
+        seen.add(signature)
+        points.append(point)
+        if len(points) >= max_points:
+            break
+    return points, intervals
+
+
+def _judge_interval(
+    axis: str,
+    spacing: str,
+    workload: str,
+    context: tuple[tuple[str, Any], ...],
+    lo: Any,
+    hi: Any,
+    series_a: Mapping[Any, float],
+    series_b: Mapping[Any, float],
+    first: str,
+    second: str,
+    direction: int,
+    policy: Any,
+) -> RefineInterval | None:
+    """Whether ``[lo, hi]`` triggers subdivision, and why."""
+    midpoint = _axis_midpoint(lo, hi, spacing, policy.min_gap)
+    if midpoint is None:
+        return None
+
+    def winner(value: Any) -> str | None:
+        delta = (series_a[value] - series_b[value]) * direction
+        if delta > 0:
+            return first
+        if delta < 0:
+            return second
+        return None
+
+    winner_lo, winner_hi = winner(lo), winner(hi)
+    if (winner_lo is not None and winner_hi is not None
+            and winner_lo != winner_hi):
+        return RefineInterval(
+            axis=axis, workload=workload, context=context,
+            lo=lo, hi=hi, midpoint=midpoint, reason="winner-flip",
+            detail={
+                "winner_lo": winner_lo,
+                "winner_hi": winner_hi,
+                first: {str(lo): series_a[lo], str(hi): series_a[hi]},
+                second: {str(lo): series_b[lo], str(hi): series_b[hi]},
+            },
+        )
+
+    threshold = policy.gradient_threshold
+    if threshold is not None:
+        for name, series in ((first, series_a), (second, series_b)):
+            reference = max(abs(series[lo]), _GRADIENT_EPS)
+            gradient = abs(series[hi] - series[lo]) / reference
+            if gradient > threshold:
+                return RefineInterval(
+                    axis=axis, workload=workload, context=context,
+                    lo=lo, hi=hi, midpoint=midpoint, reason="gradient",
+                    detail={
+                        "competitor": name,
+                        "gradient": gradient,
+                        "threshold": threshold,
+                        "lo_value": series[lo],
+                        "hi_value": series[hi],
+                    },
+                )
+    return None

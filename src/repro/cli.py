@@ -258,12 +258,247 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.exec.journal import RUNS_DIRNAME, list_runs
     from repro.harness.report import format_run_list
 
-    summaries = list_runs(Path(args.cache_dir) / RUNS_DIRNAME)
+    def warn_skip(run_id: str, reason: str) -> None:
+        print(f"warning: skipping run {run_id!r}: {reason}", file=sys.stderr)
+
+    summaries = list_runs(Path(args.cache_dir) / RUNS_DIRNAME,
+                          on_skip=warn_skip)
     if not summaries:
         print(f"no journaled runs under {args.cache_dir}")
         return 0
     print(format_run_list(summaries))
     return 0
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size: ``4096``, ``64K``, ``500M``, ``2G`` (binary)."""
+    from repro.common.errors import ConfigError
+
+    raw = text.strip().upper()
+    scale = 1
+    for suffix, factor in (("K", 1 << 10), ("M", 1 << 20),
+                           ("G", 1 << 30), ("T", 1 << 40)):
+        if raw.endswith(suffix):
+            scale, raw = factor, raw[:-1]
+            break
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"cannot parse size {text!r}; use forms like 4096, 64K, 500M, 2G"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"size must be non-negative, got {text!r}")
+    return int(value * scale)
+
+
+def _parse_age(text: str) -> float:
+    """Parse an age: ``30``/``30s`` seconds, ``10m``, ``6h``, ``7d``."""
+    from repro.common.errors import ConfigError
+
+    raw = text.strip().lower()
+    scale = 1.0
+    for suffix, factor in (("s", 1.0), ("m", 60.0), ("h", 3600.0),
+                           ("d", 86400.0), ("w", 604800.0)):
+        if raw.endswith(suffix):
+            scale, raw = factor, raw[:-1]
+            break
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise ConfigError(
+            f"cannot parse age {text!r}; use forms like 30, 10m, 6h, 7d"
+        ) from None
+    if seconds < 0:
+        raise ConfigError(f"age must be non-negative, got {text!r}")
+    return seconds
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.exec.cache import ResultCache
+
+    results_root = Path(args.cache_dir) / "results"
+    if not results_root.is_dir():
+        print(f"no result cache under {args.cache_dir}")
+        return 0
+    max_bytes = None if args.max_bytes is None else _parse_size(args.max_bytes)
+    max_age = None if args.max_age is None else _parse_age(args.max_age)
+    stats = ResultCache(results_root).gc(
+        max_bytes=max_bytes,
+        max_age_seconds=max_age,
+        dry_run=args.dry_run,
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"scanned {stats.scanned} entr(ies), {stats.bytes_total:,} bytes")
+    print(f"{verb} {stats.evicted} ({stats.evicted_by_age} by age, "
+          f"{stats.evicted_by_size} by size), "
+          f"reclaiming {stats.bytes_reclaimed:,} bytes")
+    print(f"kept {stats.kept} entr(ies), {stats.bytes_after:,} bytes")
+    if max_bytes is None and max_age is None:
+        print("note: no --max-bytes / --max-age bound given, so this was "
+              "a census only")
+    return 0
+
+
+def _campaign_progress(stream=None):
+    """Per-cell progress callback for campaign runs (tty-aware)."""
+    stream = stream if stream is not None else sys.stderr
+    interactive = getattr(stream, "isatty", lambda: False)()
+
+    def progress(wave: int, done: int, total: int) -> None:
+        if interactive:
+            end = "\n" if done == total else "\r"
+            print(f"  wave {wave}: {done}/{total} cell(s)",
+                  end=end, file=stream, flush=True)
+        elif done == total:
+            print(f"  wave {wave}: {total} cell(s) done", file=stream)
+
+    return progress
+
+
+def _campaign_summary(outcome, artifacts: dict) -> None:
+    flips = [interval for interval in outcome.intervals
+             if interval.reason == "winner-flip"]
+    print(f"campaign {outcome.campaign_id}: {outcome.status}")
+    print(f"  spec:        {outcome.spec.name} "
+          f"(fingerprint {outcome.fingerprint[:12]})")
+    print(f"  waves:       {len(outcome.waves)}")
+    print(f"  cells:       {outcome.cells_total} unique, "
+          f"{len(outcome.quarantined_keys)} quarantined")
+    print(f"  refinement:  {len(outcome.intervals)} interval(s), "
+          f"{len(flips)} winner flip(s)")
+    for interval in flips:
+        context = ", ".join(f"{k}={v}" for k, v in interval.context)
+        print(f"    flip on {interval.axis} in [{interval.lo}, "
+              f"{interval.hi}] -> sampled {interval.midpoint}  "
+              f"({interval.workload}; {context})")
+    seconds = outcome.execution.get("wall_seconds")
+    if seconds is not None:
+        print(f"  wall time:   {seconds:.2f}s "
+              f"({outcome.execution.get('sims_run', 0)} simulated, "
+              f"{outcome.execution.get('cache_hits', 0)} cache hit(s))")
+    for name in sorted(artifacts):
+        print(f"  {name + ':':<12} {artifacts[name]}")
+
+
+def _recover_campaign_spec(args: argparse.Namespace):
+    """The spec for an existing campaign: --spec file, else the journal."""
+    from repro.campaign.runner import campaign_dir, replay_campaign
+    from repro.campaign.spec import load_spec, parse_spec
+    from repro.common.errors import CampaignError
+
+    if getattr(args, "spec", None) is not None:
+        return load_spec(args.spec)
+    journal = campaign_dir(args.cache_dir, args.campaign_id) / "journal.jsonl"
+    if not journal.is_file():
+        raise CampaignError(
+            f"no campaign {args.campaign_id!r} under {args.cache_dir}; "
+            "see `repro campaign status`"
+        )
+    state = replay_campaign(journal)
+    if state.spec_document is None:
+        raise CampaignError(
+            f"campaign {args.campaign_id!r} has no journaled spec "
+            "(torn journal head?); pass the original file via --spec"
+        )
+    return parse_spec(state.spec_document)
+
+
+#: Exit code of a campaign that completed with quarantined holes.
+EXIT_CAMPAIGN_DEGRADED = 3
+
+
+def _run_and_report_campaign(spec, args: argparse.Namespace, *,
+                             resume: bool,
+                             campaign_id: str | None) -> int:
+    from repro.campaign.report import write_report
+    from repro.campaign.runner import run_campaign
+
+    outcome = run_campaign(
+        spec,
+        args.cache_dir,
+        campaign_id=campaign_id,
+        resume=resume,
+        jobs=None if args.jobs == 0 else args.jobs,
+        executor=args.executor,
+        serve_host=args.host,
+        serve_port=args.port,
+        progress=_campaign_progress(),
+    )
+    artifacts = write_report(outcome)
+    _campaign_summary(outcome, artifacts)
+    if outcome.status != "complete":
+        print(f"warning: campaign finished {outcome.status}; resume with "
+              f"`repro campaign resume {outcome.campaign_id}`",
+              file=sys.stderr)
+        return EXIT_CAMPAIGN_DEGRADED
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign.spec import load_spec
+
+    return _run_and_report_campaign(
+        load_spec(args.spec), args,
+        resume=False, campaign_id=args.id,
+    )
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _run_and_report_campaign(
+        _recover_campaign_spec(args), args,
+        resume=True, campaign_id=args.campaign_id,
+    )
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import list_campaigns
+
+    rows = list_campaigns(args.cache_dir)
+    if not rows:
+        print(f"no campaigns under {args.cache_dir}")
+        return 0
+    header = (f"{'campaign':<28} {'status':<12} {'waves':>5} {'done':>11} "
+              f"{'quar':>4} {'resumes':>7}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        done = f"{row['cells_done']}/{row['cells_planned']}"
+        print(f"{row['campaign_id']:<28} {row['status']:<12} "
+              f"{row['waves']:>5} {done:>11} {row['quarantined']:>4} "
+              f"{row['resumes']:>7}")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Regenerate a finished campaign's report from journal + cache.
+
+    This is a resume under the hood: every journaled cell replays from
+    the content-addressed cache, so nothing simulates unless the cache
+    was evicted from under the campaign.
+    """
+    return _run_and_report_campaign(
+        _recover_campaign_spec(args), args,
+        resume=True, campaign_id=args.campaign_id,
+    )
+
+
+def _cmd_campaign_bench(args: argparse.Namespace) -> int:
+    from repro.campaign.bench import render_campaign_bench, run_campaign_bench
+    from repro.harness.bench import write_bench
+
+    document = run_campaign_bench(
+        jobs=args.jobs,
+        progress=(None if args.no_progress
+                  else lambda phase: print(f"  campaign bench: {phase}",
+                                           file=sys.stderr)),
+    )
+    write_bench(document, args.out)
+    print(render_campaign_bench(document))
+    print(f"\nwrote {args.out}")
+    return 0 if document["status"] == "complete" else 1
 
 
 def _cmd_verify_artifacts(args: argparse.Namespace) -> int:
@@ -666,6 +901,105 @@ def build_parser() -> argparse.ArgumentParser:
     runs_parser.add_argument("action", choices=["list"])
     _add_cache_arguments(runs_parser)
     runs_parser.set_defaults(handler=_cmd_runs)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="manage the content-addressed result cache")
+    cache_sub = cache_parser.add_subparsers(dest="action", required=True)
+    gc_parser = cache_sub.add_parser(
+        "gc",
+        help="bound the result cache by size and/or age "
+             "(oldest entries evicted first; eviction is always safe — "
+             "a future miss recomputes)")
+    gc_parser.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="evict oldest entries until the cache fits SIZE "
+             "(e.g. 500M, 2G)")
+    gc_parser.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="evict entries older than AGE (e.g. 6h, 7d)")
+    gc_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything")
+    _add_cache_arguments(gc_parser)
+    gc_parser.set_defaults(handler=_cmd_cache_gc)
+
+    def _add_campaign_exec_arguments(
+            parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--jobs", type=int, default=0, metavar="N",
+            help="worker processes for the grid executor "
+                 "(0 = all cores, 1 = in-process; default 0)")
+        parser.add_argument(
+            "--executor", choices=["grid", "serve"], default="grid",
+            help="run cells on the local grid engine (default) or drive "
+                 "a running `repro serve` endpoint")
+        parser.add_argument(
+            "--host", default="127.0.0.1",
+            help="serve-executor server address")
+        parser.add_argument(
+            "--port", type=int, default=8321,
+            help="serve-executor server port (default 8321)")
+        _add_cache_arguments(parser)
+        _add_profile_argument(parser)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="journaled, resumable parameter-space sweeps with adaptive "
+             "refinement")
+    campaign_sub = campaign_parser.add_subparsers(dest="action",
+                                                  required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a sweep spec (.toml or .json)")
+    campaign_run.add_argument("spec", help="path to the campaign spec file")
+    campaign_run.add_argument(
+        "--id", default=None, metavar="ID",
+        help="campaign identifier (default: a fresh timestamped id)")
+    _add_campaign_exec_arguments(campaign_run)
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume",
+        help="re-attach to an interrupted campaign; journaled cells "
+             "replay from the cache, only the remainder executes")
+    campaign_resume.add_argument("campaign_id", metavar="ID")
+    campaign_resume.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="original spec file (default: recovered from the journal)")
+    _add_campaign_exec_arguments(campaign_resume)
+    campaign_resume.set_defaults(handler=_cmd_campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="list campaigns under the cache dir, newest first")
+    _add_cache_arguments(campaign_status)
+    campaign_status.set_defaults(handler=_cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="regenerate campaign.json / campaign.html from the journal "
+             "and result cache (recomputes nothing that is cached)")
+    campaign_report.add_argument("campaign_id", metavar="ID")
+    campaign_report.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="original spec file (default: recovered from the journal)")
+    _add_campaign_exec_arguments(campaign_report)
+    campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_bench = campaign_sub.add_parser(
+        "bench",
+        help="run the quick reference campaign and emit "
+             "schema-versioned BENCH_campaign.json")
+    campaign_bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1, in-process)")
+    campaign_bench.add_argument(
+        "--out", default="BENCH_campaign.json", metavar="PATH",
+        help="where to write the document (default BENCH_campaign.json)")
+    campaign_bench.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress phase progress lines on stderr")
+    _add_profile_argument(campaign_bench)
+    campaign_bench.set_defaults(handler=_cmd_campaign_bench)
 
     verify_parser = subparsers.add_parser(
         "verify-artifacts",

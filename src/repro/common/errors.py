@@ -58,6 +58,14 @@ class JournalError(ReproError):
     """A run journal is missing, unreadable, or does not match the grid."""
 
 
+class CampaignError(ReproError):
+    """A parameter-space campaign cannot be planned, run, or resumed."""
+
+
+class SpecError(CampaignError):
+    """A sweep spec is malformed, inconsistent, or yields no cells."""
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant of the simulator was violated.
 

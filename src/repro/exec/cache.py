@@ -24,6 +24,7 @@ import hashlib
 import json
 import logging
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import ReproError
@@ -41,6 +42,37 @@ def _result_checksum(result_payload: dict) -> str:
     canonical = json.dumps(result_payload, sort_keys=True,
                            separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class GcStats:
+    """What one :meth:`ResultCache.gc` pass scanned and evicted."""
+
+    scanned: int = 0
+    evicted: int = 0
+    kept: int = 0
+    bytes_total: int = 0
+    bytes_reclaimed: int = 0
+    evicted_by_age: int = 0
+    evicted_by_size: int = 0
+    dry_run: bool = False
+
+    def evict(self, size: int, path: Path, reason: str,
+              dry_run: bool) -> None:
+        """Record (and, unless dry-run, perform) one eviction."""
+        self.evicted += 1
+        self.bytes_reclaimed += size
+        if reason == "age":
+            self.evicted_by_age += 1
+        else:
+            self.evicted_by_size += 1
+        self.dry_run = dry_run
+        if not dry_run:
+            path.unlink(missing_ok=True)
+
+    @property
+    def bytes_after(self) -> int:
+        return self.bytes_total - self.bytes_reclaimed
 
 
 class ResultCache:
@@ -125,6 +157,60 @@ class ResultCache:
         """Delete every entry (the fan-out directories stay)."""
         for entry in self.root.glob("*/*.json"):
             entry.unlink(missing_ok=True)
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+        *,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> "GcStats":
+        """Bound the cache by size and/or age, evicting oldest-first.
+
+        Campaigns grow the cache without limit (every unique cell is one
+        entry forever); ``repro cache gc`` keeps it bounded.  Policy:
+
+        * entries older than ``max_age_seconds`` (by mtime) are evicted;
+        * if the surviving total still exceeds ``max_bytes``, the oldest
+          entries are evicted until it fits.
+
+        Eviction is safe by construction — every entry is a pure
+        function of its key, so a future miss simply recomputes.
+        ``dry_run`` reports what *would* be evicted without deleting.
+        Returns :class:`GcStats`; with no bounds given, nothing is
+        evicted and the stats are a pure census.
+        """
+        import time as time_module
+
+        clock = time_module.time() if now is None else now
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue  # raced with a concurrent eviction
+            entries.append((status.st_mtime, status.st_size, path))
+        entries.sort(key=lambda entry: (entry[0], entry[2].name))
+
+        stats = GcStats(scanned=len(entries),
+                        bytes_total=sum(size for _, size, _ in entries))
+        survivors: list[tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if (max_age_seconds is not None
+                    and clock - mtime > max_age_seconds):
+                stats.evict(size, path, reason="age", dry_run=dry_run)
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            remaining = sum(size for _, size, _ in survivors)
+            for mtime, size, path in survivors:
+                if remaining <= max_bytes:
+                    break
+                stats.evict(size, path, reason="size", dry_run=dry_run)
+                remaining -= size
+        stats.kept = stats.scanned - stats.evicted
+        return stats
 
     def verify(self) -> tuple[int, list[tuple[Path, str]]]:
         """Integrity-check every entry without deleting anything.

@@ -34,7 +34,7 @@ import uuid
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.common.errors import JournalError
 from repro.exec import faults
@@ -95,6 +95,35 @@ def _decode(line: str) -> dict[str, Any] | None:
     except ValueError:
         return None
     return record if isinstance(record, dict) else None
+
+
+def read_records(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Every trusted record of one journal, plus the torn-line count.
+
+    Shared by grid-run replay and the campaign engine's own journal:
+    records are trusted up to the first line that fails its CRC or JSON
+    check; everything from that point on was mid-write when the process
+    died and is discarded.  Unreadable files raise
+    :class:`JournalError` (missing file included).
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except FileNotFoundError:
+        raise JournalError(f"no run journal at {path}") from None
+    except OSError as error:
+        raise JournalError(f"cannot read journal {path}: {error}") from None
+    records: list[dict[str, Any]] = []
+    torn = 0
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        record = _decode(line)
+        if record is None:
+            torn = len(lines) - index
+            break
+        records.append(record)
+    return records, torn
 
 
 class RunJournal:
@@ -232,18 +261,9 @@ def replay(path: str | Path) -> RunReplay:
     """
     path = Path(path)
     state = RunReplay(path=path)
-    try:
-        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
-    except FileNotFoundError:
-        raise JournalError(f"no run journal at {path}") from None
+    records, state.torn_lines = read_records(path)
 
-    for index, line in enumerate(lines):
-        if not line.strip():
-            continue
-        record = _decode(line)
-        if record is None:
-            state.torn_lines = len(lines) - index
-            break
+    for record in records:
         state.records += 1
         kind = record.get("kind")
         if kind == "run-started":
@@ -296,19 +316,41 @@ class RunSummary:
     started_at: float | None
 
 
-def list_runs(runs_root: str | Path) -> list[RunSummary]:
-    """Summaries of every journaled run under ``runs_root``, newest first."""
+def list_runs(
+    runs_root: str | Path,
+    on_skip: "Callable[[str, str], None] | None" = None,
+) -> list[RunSummary]:
+    """Summaries of every journaled run under ``runs_root``, newest first.
+
+    A corrupt, unreadable, or empty journal directory is *skipped*, not
+    fatal — one damaged run must never hide every other run from
+    ``repro runs list``.  Each skip is reported through ``on_skip(name,
+    reason)`` when supplied (the CLI prints a warning per skipped
+    directory).
+    """
     root = Path(runs_root)
     summaries: list[RunSummary] = []
     if not root.is_dir():
         return summaries
+
+    def skip(entry: Path, reason: str) -> None:
+        if on_skip is not None:
+            on_skip(entry.name, reason)
+
     for entry in sorted(root.iterdir()):
+        if not entry.is_dir():
+            continue
         journal_path = entry / "journal.jsonl"
         if not journal_path.is_file():
+            skip(entry, "no journal.jsonl")
             continue
         try:
             state = replay(journal_path)
-        except JournalError:
+        except JournalError as error:
+            skip(entry, str(error))
+            continue
+        if state.records == 0:
+            skip(entry, "journal is empty or wholly corrupt")
             continue
         summaries.append(RunSummary(
             run_id=state.run_id or entry.name,

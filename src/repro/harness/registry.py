@@ -1,7 +1,21 @@
-"""Prefetcher factories for the evaluation grid."""
+"""Prefetcher factories for the evaluation grid.
+
+Beyond the fixed paper set, names may carry an inline parameter block —
+``cbws[table_entries=64,max_step=2]`` — that rebuilds the prefetcher
+with a custom :class:`~repro.core.predictor.CbwsConfig` geometry.  The
+parametrized name is an ordinary string everywhere else in the system
+(grid cells, content-addressed :func:`~repro.exec.keys.sim_key`, the
+serve wire protocol), which is exactly what makes design-space sweeps
+over prefetcher geometry (``repro campaign``) possible without new
+plumbing: the name *is* the configuration.
+:func:`canonical_prefetcher_name` sorts the parameters so two spellings
+of the same geometry share one cache key.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import re
 from typing import Callable
 
 from repro.common.errors import ConfigError
@@ -52,8 +66,110 @@ EXTENDED_PREFETCHER_ORDER: list[str] = [
 ]
 
 
+#: Bases that accept an inline ``[key=value,...]`` parameter block.
+PARAMETRIC_FAMILIES: dict[str, bool] = {
+    "cbws": False,       # hybrid=False
+    "cbws+sms": True,    # hybrid=True
+}
+
+#: CbwsConfig fields settable through a parametrized name — the
+#: geometry knobs the paper's §VI sensitivity study varies.
+CBWS_PARAM_FIELDS = frozenset({
+    "table_entries",        # differential history table capacity
+    "max_step",             # predecessor CBWSs kept / differential depth k
+    "predict_steps",        # lookahead depth
+    "history_depth",        # shift-register depth
+    "max_vector_members",   # CBWS buffer capacity
+})
+
+_PARAM_BLOCK = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<params>[^\[\]]*)\]$")
+
+
+def parse_prefetcher_name(name: str) -> tuple[str, dict[str, int]]:
+    """Split ``base[k=v,...]`` into its base name and parameter map.
+
+    A plain name returns ``(name, {})``.  Raises :class:`ConfigError`
+    on malformed blocks, unknown bases/fields, or non-integer values.
+    """
+    match = _PARAM_BLOCK.match(name)
+    if match is None:
+        if "[" in name or "]" in name:
+            raise ConfigError(
+                f"malformed prefetcher name {name!r}; want base[k=v,...]"
+            )
+        return name, {}
+    base = match.group("base")
+    if base not in PARAMETRIC_FAMILIES:
+        known = ", ".join(sorted(PARAMETRIC_FAMILIES))
+        raise ConfigError(
+            f"prefetcher {base!r} does not accept parameters; "
+            f"parametric families: {known}"
+        )
+    params: dict[str, int] = {}
+    body = match.group("params").strip()
+    if not body:
+        raise ConfigError(
+            f"empty parameter block in prefetcher name {name!r}"
+        )
+    for clause in body.split(","):
+        key, separator, value = clause.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ConfigError(
+                f"malformed parameter clause {clause!r} in {name!r}; "
+                "want key=value"
+            )
+        if key not in CBWS_PARAM_FIELDS:
+            known = ", ".join(sorted(CBWS_PARAM_FIELDS))
+            raise ConfigError(
+                f"unknown cbws parameter {key!r} in {name!r}; known: {known}"
+            )
+        if key in params:
+            raise ConfigError(f"duplicate parameter {key!r} in {name!r}")
+        try:
+            params[key] = int(value.strip())
+        except ValueError:
+            raise ConfigError(
+                f"parameter {key!r} in {name!r} must be an integer, "
+                f"got {value.strip()!r}"
+            ) from None
+    return base, params
+
+
+def canonical_prefetcher_name(name: str) -> str:
+    """The spelling-independent form of a (possibly parametrized) name.
+
+    Parameters sort by key so ``cbws[max_step=2,table_entries=64]`` and
+    ``cbws[table_entries=64,max_step=2]`` produce one cache key.
+    Parameters equal to the :class:`CbwsConfig` default are dropped —
+    ``cbws[table_entries=16]`` *is* ``cbws``.
+    """
+    base, params = parse_prefetcher_name(name)
+    defaults = CbwsConfig()
+    meaningful = {
+        key: value for key, value in params.items()
+        if value != getattr(defaults, key)
+    }
+    if not meaningful:
+        return base
+    body = ",".join(f"{key}={meaningful[key]}" for key in sorted(meaningful))
+    return f"{base}[{body}]"
+
+
 def make_prefetcher(name: str) -> Prefetcher:
-    """Build a fresh prefetcher by its evaluation name."""
+    """Build a fresh prefetcher by its (possibly parametrized) name."""
+    base, params = parse_prefetcher_name(name)
+    if params:
+        defaults = CbwsConfig()
+        if "max_step" in params and "predict_steps" not in params:
+            # predict_steps defaults to "all max_step registers"
+            # (Section IV-C); a sweep that shrinks max_step must not trip
+            # the predict_steps <= max_step validation.
+            params = dict(params)
+            params["predict_steps"] = min(defaults.predict_steps,
+                                          params["max_step"])
+        config = dataclasses.replace(defaults, **params)
+        return make_cbws_variant(config, hybrid=PARAMETRIC_FAMILIES[base])
     try:
         factory = PREFETCHER_FACTORIES[name]
     except KeyError:

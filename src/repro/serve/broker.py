@@ -117,6 +117,15 @@ class ServeJob:
 #: Terminal jobs kept around for polling before FIFO eviction.
 JOB_HISTORY_LIMIT = 1024
 
+#: Retry-After bounds: never tell a client to hot-spin (< floor) or to
+#: stay away for minutes on a transient spike (> cap).
+RETRY_AFTER_FLOOR = 1.0
+RETRY_AFTER_CAP = 120.0
+
+#: Assumed per-job wall time for the Retry-After estimate before any
+#: real sample exists (a reduced-config cell is a couple of seconds).
+COLD_START_CELL_SECONDS = 2.0
+
 
 class Broker:
     """Admission control + single-flight + batched execution."""
@@ -295,12 +304,24 @@ class Broker:
                 break
 
     def _retry_after_estimate(self) -> float:
-        """Seconds a client should wait before retrying a 429."""
-        if not self._recent_seconds:
-            return 1.0
-        mean = sum(self._recent_seconds) / len(self._recent_seconds)
+        """Seconds a client should wait before retrying a 429.
+
+        With wall-time samples, the estimate is mean job time times the
+        queue depth in worker-waves.  On a cold start (queue filled
+        before the first job ever finished) there is no sample basis, so
+        a conservative per-cell default stands in — still scaled by the
+        backlog, never the meaningless flat guess an empty deque used to
+        produce.  Either way the result is clamped to
+        [:data:`RETRY_AFTER_FLOOR`, :data:`RETRY_AFTER_CAP`] so clients
+        neither hot-spin nor give up for minutes on a transient spike.
+        """
+        if self._recent_seconds:
+            per_job = sum(self._recent_seconds) / len(self._recent_seconds)
+        else:
+            per_job = COLD_START_CELL_SECONDS
         waves = max(1.0, self._pending / max(1, self.workers))
-        return max(1.0, round(mean * waves, 1))
+        estimate = round(per_job * waves, 1)
+        return min(RETRY_AFTER_CAP, max(RETRY_AFTER_FLOOR, estimate))
 
     # -- metrics ------------------------------------------------------------
 

@@ -1,0 +1,208 @@
+"""Adaptive refinement on synthetic metric surfaces."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.campaign.planner import CellSample
+from repro.campaign.refine import metric_surface, refine_wave
+from repro.campaign.spec import SPEC_VERSION, parse_spec
+
+
+@dataclass
+class FakeResult:
+    ipc: float
+    mpki: float = 0.0
+
+
+def make_spec(refine_overrides=None, spacing="log2"):
+    refine = {
+        "metric": "ipc",
+        "axes": ["cbws.table_entries"],
+        "competitors": ["cbws", "sms"],
+        "max_cells": 64,
+        "max_waves": 2,
+    }
+    refine.update(refine_overrides or {})
+    axis = ({"name": "cbws.table_entries", "log2_range": [1, 64]}
+            if spacing == "log2"
+            else {"name": "cbws.table_entries", "values": [10, 20, 30]})
+    return parse_spec({
+        "version": SPEC_VERSION,
+        "name": "synthetic",
+        "base": {"workloads": ["nw"], "prefetchers": ["sms", "cbws"],
+                 "budget_fraction": 0.02},
+        "axes": [axis],
+        "refine": refine,
+    })
+
+
+def surface(points, workload="nw", context=()):
+    """Samples + results from ``{axis value: {base: ipc}}``."""
+    samples, results = [], {}
+    for value, metrics in points.items():
+        for base, ipc in metrics.items():
+            prefetcher = (base if base == "sms"
+                          else f"{base}[table_entries={value}]")
+            key = f"{workload}:{prefetcher}:{value}"
+            coords = (("cbws.table_entries", value),) + tuple(context)
+            samples.append(CellSample(
+                workload=workload, prefetcher=prefetcher,
+                coords=coords, key=key))
+            results[key] = FakeResult(ipc=ipc)
+    return samples, results
+
+
+class TestMetricSurface:
+    def test_groups_by_workload_and_context(self):
+        samples, results = surface({1: {"cbws": 0.5, "sms": 0.6},
+                                    64: {"cbws": 0.7, "sms": 0.6}})
+        table = metric_surface(samples, results, "cbws.table_entries", "ipc")
+        assert ("nw", ()) in table
+        assert table[("nw", ())]["cbws"] == {1: 0.5, 64: 0.7}
+        assert table[("nw", ())]["sms"] == {1: 0.6, 64: 0.6}
+
+    def test_missing_results_are_skipped(self):
+        samples, results = surface({1: {"cbws": 0.5, "sms": 0.6}})
+        results.pop("nw:sms:1")
+        table = metric_surface(samples, results, "cbws.table_entries", "ipc")
+        assert "sms" not in table[("nw", ())]
+
+
+class TestWinnerFlip:
+    def test_flip_interval_subdivided_geometrically(self):
+        spec = make_spec()
+        # sms wins through 16, cbws wins from 32: flip inside [16, 32].
+        samples, results = surface({
+            1: {"cbws": 0.40, "sms": 0.50},
+            16: {"cbws": 0.45, "sms": 0.50},
+            32: {"cbws": 0.55, "sms": 0.50},
+            64: {"cbws": 0.60, "sms": 0.50},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert len(intervals) == 1
+        interval = intervals[0]
+        assert interval.reason == "winner-flip"
+        assert (interval.lo, interval.hi) == (16, 32)
+        assert interval.midpoint == 23  # round(sqrt(16 * 32))
+        assert points == [{"cbws.table_entries": 23}]
+        assert interval.detail["winner_lo"] == "sms"
+        assert interval.detail["winner_hi"] == "cbws"
+
+    def test_linear_axis_uses_arithmetic_midpoint(self):
+        spec = make_spec(spacing="linear")
+        samples, results = surface({
+            10: {"cbws": 0.4, "sms": 0.5},
+            20: {"cbws": 0.6, "sms": 0.5},
+            30: {"cbws": 0.7, "sms": 0.5},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert intervals[0].midpoint == 15
+
+    def test_tie_is_not_a_flip(self):
+        spec = make_spec()
+        samples, results = surface({
+            16: {"cbws": 0.50, "sms": 0.50},  # exact tie at the edge
+            32: {"cbws": 0.55, "sms": 0.50},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert intervals == [] and points == []
+
+    def test_no_flip_no_intervals(self):
+        spec = make_spec()
+        samples, results = surface({
+            1: {"cbws": 0.6, "sms": 0.5},
+            64: {"cbws": 0.7, "sms": 0.5},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert intervals == [] and points == []
+
+    def test_min_gap_convergence(self):
+        spec = make_spec(refine_overrides={"min_gap": 20.0})
+        samples, results = surface({
+            16: {"cbws": 0.45, "sms": 0.50},
+            32: {"cbws": 0.55, "sms": 0.50},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert intervals == []  # gap 16 <= min_gap 20: converged
+
+    def test_adjacent_integers_converge(self):
+        spec = make_spec()
+        samples, results = surface({
+            2: {"cbws": 0.45, "sms": 0.50},
+            3: {"cbws": 0.55, "sms": 0.50},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert points == []  # no integer strictly between 2 and 3
+
+    def test_max_points_caps_output(self):
+        spec = make_spec()
+        samples, results = [], {}
+        for index, interval_lo in enumerate((4, 16, 64)):
+            extra, extra_results = surface(
+                {interval_lo: {"cbws": 0.4, "sms": 0.5},
+                 interval_lo * 2: {"cbws": 0.6, "sms": 0.5}},
+                context=(("prefetch.issue_interval", 2 ** index),))
+            samples.extend(extra)
+            results.update(extra_results)
+        points, intervals = refine_wave(spec, samples, results, 2)
+        assert len(intervals) == 3  # analysis still reports every flip
+        assert len(points) == 2  # but the budget caps the new samples
+
+    def test_zero_budget_short_circuits(self):
+        spec = make_spec()
+        samples, results = surface({
+            16: {"cbws": 0.45, "sms": 0.50},
+            32: {"cbws": 0.55, "sms": 0.50},
+        })
+        assert refine_wave(spec, samples, results, 0) == ([], [])
+
+
+class TestGradient:
+    def test_gradient_trigger(self):
+        spec = make_spec(refine_overrides={"gradient_threshold": 0.25})
+        # cbws wins everywhere (no flip) but jumps 50% across [16, 32].
+        samples, results = surface({
+            16: {"cbws": 0.60, "sms": 0.50},
+            32: {"cbws": 0.90, "sms": 0.50},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert len(intervals) == 1
+        assert intervals[0].reason == "gradient"
+        assert intervals[0].detail["competitor"] == "cbws"
+        assert intervals[0].detail["gradient"] == pytest.approx(0.5)
+
+    def test_gradient_below_threshold_ignored(self):
+        spec = make_spec(refine_overrides={"gradient_threshold": 0.60})
+        samples, results = surface({
+            16: {"cbws": 0.60, "sms": 0.50},
+            32: {"cbws": 0.90, "sms": 0.50},
+        })
+        assert refine_wave(spec, samples, results, 8) == ([], [])
+
+    def test_flip_takes_precedence_over_gradient(self):
+        spec = make_spec(refine_overrides={"gradient_threshold": 0.01})
+        samples, results = surface({
+            16: {"cbws": 0.45, "sms": 0.50},
+            32: {"cbws": 0.90, "sms": 0.50},
+        })
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert [interval.reason for interval in intervals] == ["winner-flip"]
+
+    def test_mpki_direction_inverts_winner(self):
+        spec = make_spec(refine_overrides={"metric": "mpki"})
+        samples, results = surface({
+            16: {"cbws": 0.0, "sms": 0.0},
+            32: {"cbws": 0.0, "sms": 0.0},
+        })
+        # Rebuild results with mpki values: lower is better, so cbws
+        # "wins" at 16 (lower mpki) and loses at 32.
+        for key in results:
+            value = 1.0 if "cbws" in key and ":16" in key else 2.0
+            if "sms" in key:
+                value = 1.5
+            results[key] = FakeResult(ipc=0.0, mpki=value)
+        points, intervals = refine_wave(spec, samples, results, 8)
+        assert len(intervals) == 1
+        assert intervals[0].detail["winner_lo"] == "cbws"
+        assert intervals[0].detail["winner_hi"] == "sms"

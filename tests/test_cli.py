@@ -126,3 +126,100 @@ class TestKeyboardInterrupt:
         code = main(["list", "workloads"])
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    SPEC = {
+        "version": 1,
+        "name": "cli-tiny",
+        "base": {
+            "workloads": ["nw"],
+            "prefetchers": ["stride", "cbws"],
+            "budget_fraction": 0.02,
+        },
+        "axes": [
+            {"name": "cbws.table_entries", "log2_range": [1, 4]},
+        ],
+    }
+
+    def write_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_run_status_report_round_trip(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", str(spec), "--id", "t",
+                     "--jobs", "1", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "campaign t: complete" in out
+
+        assert main(["campaign", "status", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "t" in out and "complete" in out
+
+        json_path = tmp_path / "cache" / "campaigns" / "t" / "campaign.json"
+        before = json_path.read_bytes()
+        assert main(["campaign", "report", "t", "--jobs", "1",
+                     "--cache-dir", cache]) == 0
+        assert json_path.read_bytes() == before
+
+    def test_duplicate_id_fails_cleanly(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", str(spec), "--id", "t",
+                     "--jobs", "1", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", str(spec), "--id", "t",
+                     "--jobs", "1", "--cache-dir", cache]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        assert main(["campaign", "run", str(path),
+                     "--cache-dir", str(tmp_path / "c")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_empty_dir(self, tmp_path, capsys):
+        assert main(["campaign", "status",
+                     "--cache-dir", str(tmp_path / "nothing")]) == 0
+        assert "no campaigns" in capsys.readouterr().out
+
+
+class TestCacheGcCli:
+    def test_gc_census_and_eviction(self, tmp_path, capsys):
+        results = tmp_path / "cache" / "results" / "ab"
+        results.mkdir(parents=True)
+        (results / "one.json").write_text("x" * 50)
+        (results / "two.json").write_text("y" * 50)
+        cache = str(tmp_path / "cache")
+
+        assert main(["cache", "gc", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "census" in out and "scanned 2" in out
+
+        assert main(["cache", "gc", "--cache-dir", cache,
+                     "--max-bytes", "60", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict 1" in out
+        assert len(list(results.glob("*.json"))) == 2
+
+        assert main(["cache", "gc", "--cache-dir", cache,
+                     "--max-bytes", "60"]) == 0
+        assert len(list(results.glob("*.json"))) == 1
+
+    def test_gc_missing_cache_dir(self, tmp_path, capsys):
+        assert main(["cache", "gc",
+                     "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "no result cache" in capsys.readouterr().out
+
+    def test_bad_size_fails_cleanly(self, tmp_path, capsys):
+        results = tmp_path / "cache" / "results"
+        results.mkdir(parents=True)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path / "cache"),
+                     "--max-bytes", "lots"]) == 1
+        assert "cannot parse size" in capsys.readouterr().err

@@ -222,6 +222,45 @@ class TestResume:
         assert summaries[0].cells_done == 2
         assert summaries[0].cells_total == 2
 
+    def test_list_runs_skips_corrupt_and_empty_dirs(self, fresh_trace_cache,
+                                                    tmp_path):
+        runner = GridRunner(budget_fraction=0.02, jobs=1,
+                            cache_dir=tmp_path, run_id="good")
+        runner.run_grid(WORKLOADS, PREFETCHERS)
+        runs_root = tmp_path / RUNS_DIRNAME
+        # A directory with no journal at all.
+        (runs_root / "empty-dir").mkdir()
+        # A directory whose journal is wholly corrupt.
+        corrupt = runs_root / "corrupt"
+        corrupt.mkdir()
+        (corrupt / "journal.jsonl").write_text("not a journal line\n")
+        # A zero-byte journal.
+        hollow = runs_root / "hollow"
+        hollow.mkdir()
+        (hollow / "journal.jsonl").write_text("")
+        # A stray file (not a run directory) next to them.
+        (runs_root / "stray.txt").write_text("noise")
+
+        skipped = []
+        summaries = list_runs(
+            runs_root, on_skip=lambda run, why: skipped.append((run, why)))
+        assert [s.run_id for s in summaries] == ["good"]
+        assert sorted(run for run, _ in skipped) == [
+            "corrupt", "empty-dir", "hollow"]
+        reasons = dict(skipped)
+        assert "no journal" in reasons["empty-dir"]
+        assert "empty or wholly corrupt" in reasons["corrupt"]
+        assert "empty or wholly corrupt" in reasons["hollow"]
+
+    def test_list_runs_sorts_newest_first(self, fresh_trace_cache,
+                                          tmp_path):
+        for run_id in ("first", "second"):
+            GridRunner(budget_fraction=0.02, jobs=1, cache_dir=tmp_path,
+                       run_id=run_id).run_grid(WORKLOADS, PREFETCHERS)
+        summaries = list_runs(tmp_path / RUNS_DIRNAME)
+        starts = [s.started_at for s in summaries]
+        assert starts == sorted(starts, reverse=True)
+
 
 class TestCli:
     def _run(self, tmp_path, *extra):

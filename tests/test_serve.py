@@ -344,3 +344,47 @@ class TestCliSubcommands:
         document = json.loads(out_path.read_text())
         assert document["schema"] == SERVE_BENCH_SCHEMA
         assert document["totals"]["dedup_hits"] > 0
+
+
+class TestRetryAfterEstimate:
+    """The 429 Retry-After hint: sane on cold start, clamped both ways."""
+
+    def make_broker(self, tmp_path, workers=1):
+        return Broker(workers=workers, cache_dir=tmp_path, max_pending=0)
+
+    def test_cold_start_scales_backlog_not_flat_guess(self, tmp_path):
+        from repro.serve.broker import COLD_START_CELL_SECONDS
+
+        broker = self.make_broker(tmp_path)
+        # No job has ever finished; four waves of backlog on one worker.
+        broker._pending = 4
+        estimate = broker._retry_after_estimate()
+        assert estimate == pytest.approx(COLD_START_CELL_SECONDS * 4)
+
+    def test_cold_start_empty_queue_still_meets_floor(self, tmp_path):
+        from repro.serve.broker import RETRY_AFTER_FLOOR
+
+        broker = self.make_broker(tmp_path)
+        assert broker._retry_after_estimate() >= RETRY_AFTER_FLOOR
+
+    def test_fast_jobs_clamp_to_floor(self, tmp_path):
+        from repro.serve.broker import RETRY_AFTER_FLOOR
+
+        broker = self.make_broker(tmp_path)
+        broker._recent_seconds.extend([0.01, 0.02, 0.01])
+        broker._pending = 1
+        assert broker._retry_after_estimate() == RETRY_AFTER_FLOOR
+
+    def test_slow_backlog_clamps_to_cap(self, tmp_path):
+        from repro.serve.broker import RETRY_AFTER_CAP
+
+        broker = self.make_broker(tmp_path)
+        broker._recent_seconds.extend([30.0, 45.0])
+        broker._pending = 64
+        assert broker._retry_after_estimate() == RETRY_AFTER_CAP
+
+    def test_warm_estimate_is_mean_times_waves(self, tmp_path):
+        broker = self.make_broker(tmp_path, workers=2)
+        broker._recent_seconds.extend([2.0, 4.0])
+        broker._pending = 4  # two waves on two workers
+        assert broker._retry_after_estimate() == pytest.approx(6.0)
