@@ -441,12 +441,14 @@ def _execute_wave_serve(
     """Run one wave against a live ``repro serve`` endpoint.
 
     Cells already present in the local result cache are replayed without
-    touching the server; the rest go through submit/poll with bounded
-    backoff on 429 (sleeping the server's own Retry-After).  Results
-    land in the local cache too, so a later resume — or a grid run of
-    the same spec — replays them for free.
+    touching the server; the rest go through the client's
+    :class:`~repro.serve.client.RetryPolicy` — exponential backoff with
+    full jitter on connection failures, 429, 503, and failover 404s, so
+    a campaign pointed at a ``repro cluster`` survives a shard dying
+    mid-wave.  Results land in the local cache too, so a later resume —
+    or a grid run of the same spec — replays them for free.
     """
-    from repro.serve.client import ServeClient, ServerBusy
+    from repro.serve.client import RetryPolicy, ServeClient, ServeClientError
     from repro.serve.protocol import SimulateRequest
 
     for cell in cells:
@@ -456,7 +458,9 @@ def _execute_wave_serve(
                 f"cell {cell.coords!r}: {reason}"
             )
 
-    client = ServeClient(host=host, port=port)
+    client = ServeClient(host=host, port=port,
+                         retry=RetryPolicy(max_attempts=8,
+                                           max_deadline=600.0))
     done = 0
     total = len(cells)
     for cell, key in zip(cells, keys):
@@ -473,18 +477,13 @@ def _execute_wave_serve(
                 progress(wave, done, total)
             continue
         request = SimulateRequest.from_dict(cell_request_body(cell))
-        view = None
-        for attempt in range(8):
-            try:
-                view = client.run(request)
-                break
-            except ServerBusy as busy:
-                time.sleep(min(busy.retry_after, 30.0))
-        if view is None:
+        try:
+            view = client.run(request)
+        except ServeClientError as error:
             raise CampaignError(
-                f"server at {host}:{port} stayed busy through 8 "
-                f"submit attempts for cell {cell.coords!r}"
-            )
+                f"server at {host}:{port} failed cell {cell.coords!r} "
+                f"after retries: {error}"
+            ) from error
         if view.result is not None:
             result = SimResult.from_dict(view.result)
             outcome.results[key] = result
@@ -504,3 +503,6 @@ def _execute_wave_serve(
         done += 1
         if progress is not None:
             progress(wave, done, total)
+    if client.retries:
+        outcome.execution["retries"] = (
+            outcome.execution.get("retries", 0) + client.retries)

@@ -96,6 +96,35 @@ class PermanentError(ExecError):
     """A task failure that retrying cannot fix."""
 
 
+class DiskFullError(PermanentError):
+    """The filesystem under the cache or journal is out of space.
+
+    ``ENOSPC`` is an *environment* failure, not a task failure: every
+    retry re-hits the same full disk, so this classifies as permanent
+    (no retry storm) and carries an actionable remediation hint.
+    """
+
+    REMEDIATION = (
+        "reclaim space with `repro cache gc --max-bytes <SIZE>` "
+        "(or `--max-age <AGE>`), then rerun"
+    )
+
+    def __init__(self, message: str) -> None:
+        super().__init__(f"{message}; {self.REMEDIATION}")
+
+
+#: ``errno`` values that mean "the disk under this write is full".
+_DISK_FULL_ERRNOS = (28, 122)  # ENOSPC, EDQUOT
+
+
+def raise_if_disk_full(error: OSError, what: str) -> None:
+    """Re-raise an ``OSError`` as :class:`DiskFullError` when it is a
+    disk-full condition; return (caller re-raises the original) otherwise.
+    """
+    if error.errno in _DISK_FULL_ERRNOS:
+        raise DiskFullError(f"disk full while writing {what} ({error})") from error
+
+
 class FaultInjected(ExecError):
     """An error raised by the fault-injection harness (tests only)."""
 

@@ -27,7 +27,7 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, raise_if_disk_full
 from repro.sim.results import SimResult
 
 logger = logging.getLogger("repro.exec")
@@ -127,7 +127,14 @@ class ResultCache:
             return None
 
     def put(self, key: str, result: SimResult) -> None:
-        """Store one result atomically and durably."""
+        """Store one result atomically and durably.
+
+        A full disk (``ENOSPC``/``EDQUOT``) is escalated to
+        :class:`~repro.common.errors.DiskFullError` — a *permanent*
+        environment failure, so the retry policy fails fast with a
+        ``repro cache gc`` remediation hint instead of hammering the
+        same full filesystem.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = result.to_dict()
@@ -144,6 +151,9 @@ class ResultCache:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(temporary, path)
+        except OSError as error:
+            raise_if_disk_full(error, f"result-cache entry {key[:12]}…")
+            raise
         finally:
             temporary.unlink(missing_ok=True)
 

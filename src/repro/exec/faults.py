@@ -14,7 +14,19 @@ Sites are plain strings checked by the code that owns them:
     Checked by the scheduler after every completed task.
 ``journal.append``
     Checked (via :func:`mangle`) by :meth:`repro.exec.journal.RunJournal
-    .append` around the write+fsync of one record.
+    .append` around the write+fsync of one record — shared by grid runs,
+    campaigns, and the serve job journal, so ``torn`` here reproduces a
+    torn *serve* journal too.
+``serve.admit``
+    Checked by the broker at the top of every admission.
+``serve.job-finished``
+    Checked by the broker right after a job reaches a terminal state
+    (``exit`` here is the canonical kill-shard chaos: the process dies
+    mid-batch with journaled-but-unfinished jobs on the books).
+``cluster.forward``
+    Checked (via :func:`async_check`) by the cluster router before
+    forwarding a request to its owning shard (``stall`` here is the
+    slow-network chaos site).
 
 Fault kinds:
 
@@ -25,6 +37,9 @@ Fault kinds:
                      subprocess-based tests and the CI smoke job
 ``torn``             (write sites only) persist the first half of the
                      payload, then die via :class:`InjectedCrash`
+``stall``            sleep :data:`STALL_SECONDS` (override via
+                     ``$REPRO_FAULT_STALL``) and then continue — a hung
+                     shard or a slow network hop, depending on the site
 
 Injectors install process-globally with :func:`install` /
 :func:`deactivate`, or from the ``REPRO_FAULTS`` environment variable
@@ -50,7 +65,21 @@ from repro.common.errors import (
 #: injected death from an organic one.
 EXIT_CODE = 70
 
-_KINDS = ("raise", "raise-permanent", "crash", "exit", "torn")
+_KINDS = ("raise", "raise-permanent", "crash", "exit", "torn", "stall")
+
+
+def stall_seconds() -> float:
+    """How long a ``stall`` fault sleeps (default 600s — long enough
+    that a health-probing supervisor declares the shard hung well before
+    the stall clears; tests shrink it via ``$REPRO_FAULT_STALL``)."""
+    try:
+        return float(os.environ.get("REPRO_FAULT_STALL", "600"))
+    except ValueError:
+        return 600.0
+
+
+#: Documented default for :func:`stall_seconds`.
+STALL_SECONDS = 600.0
 
 #: Environment variable holding a fault plan for subprocesses.
 ENV_VAR = "REPRO_FAULTS"
@@ -127,9 +156,14 @@ class FaultInjector:
         return None
 
     def check(self, site: str) -> None:
-        """Record one hit of ``site``; raise/exit if a spec fires."""
+        """Record one hit of ``site``; raise/exit/stall if a spec fires."""
         spec = self._firing(site)
         if spec is None:
+            return
+        if spec.kind == "stall":
+            import time
+
+            time.sleep(stall_seconds())
             return
         if spec.kind == "exit":
             os._exit(EXIT_CODE)
@@ -140,6 +174,28 @@ class FaultInjector:
         if spec.kind == "torn":
             # A torn fault only makes sense on a write path; hitting it
             # through check() means the site passed no payload.
+            raise InjectedCrash(f"injected torn write at {site}")
+        raise TransientError(f"injected transient failure at {site}")
+
+    async def async_check(self, site: str) -> None:
+        """:meth:`check`, but a firing ``stall`` suspends only the
+        current coroutine (``asyncio.sleep``) instead of blocking the
+        whole event loop — a slow network hop, not a hung process."""
+        spec = self._firing(site)
+        if spec is None:
+            return
+        if spec.kind == "stall":
+            import asyncio
+
+            await asyncio.sleep(stall_seconds())
+            return
+        if spec.kind == "exit":
+            os._exit(EXIT_CODE)
+        if spec.kind == "crash":
+            raise InjectedCrash(f"injected crash at {site} (hit {self.hits[site]})")
+        if spec.kind == "raise-permanent":
+            raise PermanentError(f"injected permanent failure at {site}")
+        if spec.kind == "torn":
             raise InjectedCrash(f"injected torn write at {site}")
         raise TransientError(f"injected transient failure at {site}")
 

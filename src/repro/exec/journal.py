@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
-from repro.common.errors import JournalError
+from repro.common.errors import JournalError, raise_if_disk_full
 from repro.exec import faults
 from repro.exec.keys import stable_hash
 
@@ -146,16 +146,25 @@ class RunJournal:
         The fault-injection site ``journal.append`` can tear this write
         in half: the truncated bytes are flushed first and the injected
         crash raised after, reproducing a mid-append power cut.
+
+        A full disk (``ENOSPC``/``EDQUOT``) escalates to
+        :class:`~repro.common.errors.DiskFullError` — retrying an
+        append against a full filesystem is a retry storm, not recovery.
         """
         self._sequence += 1
         record = {"kind": kind, "seq": self._sequence, "t": time.time()}
         record.update(fields)
         data, post_error = faults.mangle("journal.append", _encode(record))
-        if self._handle is None:
-            self._handle = open(self.path, "ab")
-        self._handle.write(data)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            if self._handle is None:
+                self._handle = open(self.path, "ab")
+            self._handle.write(data)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as error:
+            self.close()
+            raise_if_disk_full(error, f"journal record in {self.path.name}")
+            raise
         if post_error is not None:
             self.close()
             raise post_error

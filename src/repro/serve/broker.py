@@ -27,7 +27,11 @@ One :class:`Broker` owns the path from a validated
 4. **Caching.**  ``execute_grid`` probes the same content-addressed
    :class:`~repro.exec.cache.ResultCache` the CLI uses; a repeated
    request is a pure cache read and never touches the pool.
-5. **Drain.**  ``begin_drain`` stops admission; :meth:`drain` waits for
+5. **Crash recovery.**  With a cache dir, every admission and terminal
+   transition is journaled through :mod:`repro.serve.recovery`; a
+   restarted broker re-admits journaled-but-unfinished jobs before it
+   batches anything, and a clean drain deletes the journal.
+6. **Drain.**  ``begin_drain`` stops admission; :meth:`drain` waits for
    every in-flight job, shuts the pool down, and flushes a telemetry
    snapshot next to the cache — SIGTERM maps onto exactly this
    sequence.
@@ -49,10 +53,12 @@ from typing import Any
 from repro import obs
 from repro.common.errors import ReproError
 from repro.exec import ExecOptions, GridPlan, ResultCache, SingleFlight
+from repro.exec import faults
 from repro.exec.keys import stable_hash
 from repro.exec.pool import WorkerPool
 from repro.exec.scheduler import execute_grid
 from repro.serve.protocol import JobStatus, JobView, SimulateRequest
+from repro.serve.recovery import ServeJournal, journal_path, replay_unfinished
 from repro.sim.config import REDUCED_CONFIG, SimConfig
 from repro.sim.results import SimResult
 
@@ -141,6 +147,8 @@ class Broker:
         batch_max: int = 16,
         task_timeout: float | None = None,
         max_retries: int = 2,
+        shard_name: str = "broker",
+        recover: bool = True,
     ) -> None:
         self.workers = max(1, workers)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -150,9 +158,16 @@ class Broker:
         self.batch_max = max(1, batch_max)
         self.task_timeout = task_timeout
         self.max_retries = max_retries
+        self.shard_name = shard_name
+        self.recover = recover
 
         self._cache = (ResultCache(self.cache_dir / "results")
                        if self.cache_dir is not None else None)
+        #: Write-ahead job journal (crash recovery); None without a
+        #: cache dir — no durable state means nothing to recover into.
+        self._journal = (ServeJournal(journal_path(self.cache_dir,
+                                                   shard_name))
+                         if self.cache_dir is not None else None)
         self._pool = (WorkerPool(self.workers)
                       if self.workers > 1 else None)
         self._singleflight: SingleFlight[ServeJob] = SingleFlight()
@@ -176,15 +191,51 @@ class Broker:
             "serve.cache_hits": 0,
             "serve.batches": 0,
             "serve.cells_executed": 0,
+            "serve.jobs_recovered": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
-        """Start the batching loop (call from the server's event loop)."""
+        """Start the batching loop (call from the server's event loop).
+
+        Before the first batch runs, any journaled-but-unfinished jobs
+        left behind by a crashed predecessor are re-admitted — the
+        restarted shard picks the work back up instead of dropping it.
+        """
         if self._batch_task is None:
+            self._recover_jobs()
             self._batch_task = asyncio.create_task(self._batch_loop(),
                                                    name="serve-batcher")
+
+    def _recover_jobs(self) -> None:
+        """Re-admit journaled-but-unfinished jobs from a crashed run.
+
+        Re-admission goes through the normal :meth:`submit` path, so the
+        recovered jobs are journaled, single-flighted, and batched like
+        fresh ones; a job whose result reached the shared result cache
+        before the crash replays as a pure cache hit.  Clients that were
+        polling the dead process's job ids get 404 and resubmit — the
+        content-addressed key attaches them to the recovered leader.
+        """
+        if self._journal is None or not self.recover:
+            return
+        pending = replay_unfinished(self._journal.path)
+        if not pending:
+            return
+        self._journal.broker_restarted(recovered=len(pending))
+        for request in pending:
+            try:
+                self.submit(request)
+            except ReproError as error:
+                # A request that no longer admits (schema drift, bad
+                # name after an upgrade) must not wedge the restart.
+                import logging
+
+                logging.getLogger("repro.serve").warning(
+                    "could not re-admit journaled job: %s", error)
+            else:
+                self.counters["serve.jobs_recovered"] += 1
 
     @property
     def draining(self) -> bool:
@@ -207,6 +258,10 @@ class Broker:
             self._batch_task = None
         if self._pool is not None:
             await asyncio.to_thread(self._pool.shutdown)
+        if self._journal is not None:
+            # Every accepted job is finished after the idle wait, so the
+            # journal holds no recoverable state — drop it.
+            self._journal.discard_clean()
         self.flush_telemetry()
 
     def flush_telemetry(self) -> None:
@@ -237,6 +292,7 @@ class Broker:
         """
         if self._draining:
             raise Draining("server is draining; not admitting new work")
+        faults.check("serve.admit")
         self.counters["serve.requests"] += 1
 
         # Resolve early so bad names and bad configs fail at admission.
@@ -274,6 +330,8 @@ class Broker:
         if not is_leader:
             self.counters["serve.deduplicated"] += 1
             return leased, True
+        if self._journal is not None:
+            self._journal.job_accepted(job.job_id, key, request)
         self._jobs[job.job_id] = job
         self._remember_history(job.job_id)
         self._pending += 1
@@ -491,6 +549,11 @@ class Broker:
 
     def _finish(self, job: ServeJob, result: SimResult | None = None,
                 error: str | None = None) -> None:
+        # Chaos site: the canonical kill-shard fault fires here, after
+        # the result reached the shared cache but *before* the terminal
+        # transition is journaled — the crashed job replays as
+        # unfinished and recovers as a pure cache hit.
+        faults.check("serve.job-finished")
         job.wall_seconds = time.monotonic() - job.submitted_monotonic
         self._recent_seconds.append(job.wall_seconds)
         if result is not None:
@@ -501,6 +564,9 @@ class Broker:
             job.error = error or "unknown failure"
             job.status = JobStatus.FAILED
             self.counters["serve.failed"] += 1
+        if self._journal is not None:
+            self._journal.job_finished(job.job_id, job.key,
+                                       job.status.value)
         self._singleflight.release(job.key)
         self._pending = max(0, self._pending - 1)
         if self._pending == 0:

@@ -9,14 +9,27 @@ consumer of the wire protocol.
 Error mapping mirrors the server: HTTP 400 raises
 :class:`~repro.serve.protocol.ProtocolError`, 404 raises
 :class:`JobNotFound`, 429 raises :class:`ServerBusy` (with the parsed
-``Retry-After``), 503 raises :class:`ServerDraining`.
+``Retry-After``), 503 raises :class:`ServerDraining`, and transport
+failures raise :class:`ConnectionFailed`.
+
+Failover: constructed with a :class:`RetryPolicy`, :meth:`ServeClient
+.run` retries connection errors, 429, and 503 with exponential backoff
+plus full jitter (honouring the server's ``Retry-After``), and treats a
+404 mid-poll as a shard failover — the restarted shard re-admitted the
+journaled work under fresh job ids, so the client *resubmits* the
+original request, which is idempotent by content-addressed key (it
+attaches to the recovered leader or replays from the shared result
+cache).  A hard ``max_deadline`` bounds the whole exchange so campaign
+waves fail loudly (:class:`DeadlineExceeded`) instead of hanging.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
+from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 from repro.common.errors import ReproError
@@ -32,6 +45,10 @@ class ServeClientError(ReproError):
     """Base class for client-side failures against the serve API."""
 
 
+class ConnectionFailed(ServeClientError):
+    """The server could not be reached at the transport level."""
+
+
 class ServerBusy(ServeClientError):
     """HTTP 429: the admission queue is full."""
 
@@ -41,21 +58,73 @@ class ServerBusy(ServeClientError):
 
 
 class ServerDraining(ServeClientError):
-    """HTTP 503: the server is shutting down."""
+    """HTTP 503: the server is shutting down (or a shard is down)."""
+
+    def __init__(self, message: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class JobNotFound(ServeClientError):
     """HTTP 404: no such job."""
 
 
+class DeadlineExceeded(ServeClientError):
+    """The retry policy's ``max_deadline`` elapsed before success."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and full jitter.
+
+    ``delay(attempt)`` draws uniformly from ``[0, min(max_delay,
+    base_delay * 2**attempt)]`` — *full jitter*, so a fleet of clients
+    retrying after the same shard death does not stampede the restarted
+    shard in lockstep.  A server-supplied ``Retry-After`` overrides the
+    jittered draw (the server knows its own backlog better than we do),
+    with only a small jitter added on top to de-synchronize.
+
+    ``max_deadline`` is a hard wall-clock bound across *all* attempts
+    of one logical operation; crossing it raises
+    :class:`DeadlineExceeded` so a campaign wave pointed at a dead
+    cluster fails loudly instead of hanging forever.
+    """
+
+    max_attempts: int = 8
+    base_delay: float = 0.2
+    max_delay: float = 10.0
+    max_deadline: float = 300.0
+
+    def delay(self, attempt: int, retry_after: float | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        cap = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
+        if retry_after is not None and retry_after > 0:
+            return retry_after + random.uniform(0.0, self.base_delay)
+        return random.uniform(0.0, cap)
+
+
+#: Exceptions :meth:`ServeClient.run` retries under a policy.  404 is
+#: included because job ids do not survive shard failover — resubmitting
+#: the content-addressed request is the recovery, not an error.
+RETRYABLE = (ConnectionFailed, ServerBusy, ServerDraining, JobNotFound)
+
+
 class ServeClient:
-    """Typed access to one ``repro serve`` instance."""
+    """Typed access to one ``repro serve`` (or ``repro cluster``) API."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8321,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 retry: RetryPolicy | None = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: None preserves the historical raise-on-first-failure
+        #: behavior; a policy makes :meth:`run` failover-tolerant.
+        self.retry = retry
+        #: Retries performed by :meth:`run` over this client's lifetime
+        #: (the load generator reads this for its availability metric).
+        self.retries = 0
 
     # -- plumbing -----------------------------------------------------------
 
@@ -78,7 +147,7 @@ class ServeClient:
                      for name, value in response.getheaders()},
                     raw)
         except OSError as error:
-            raise ServeClientError(
+            raise ConnectionFailed(
                 f"cannot reach repro serve at {self.host}:{self.port}: "
                 f"{error}"
             ) from None
@@ -107,7 +176,12 @@ class ServeClient:
                           headers.get("retry-after", 1)))
             raise ServerBusy(message, retry_after)
         if status == 503:
-            raise ServerDraining(message)
+            retry_after = error.get("retry_after_seconds")
+            if retry_after is None:
+                retry_after = headers.get("retry-after")
+            raise ServerDraining(
+                message,
+                float(retry_after) if retry_after is not None else None)
         if status == 404:
             raise JobNotFound(message)
         if status == 400:
@@ -171,12 +245,55 @@ class ServeClient:
             time.sleep(poll)
 
     def run(self, request: SimulateRequest,
-            timeout: float = 600.0) -> JobView:
-        """Submit and wait: the one-call equivalent of ``repro run``."""
-        view = self.submit(request)
-        if view.status.terminal:
-            return view
-        return self.wait(view.job_id, timeout=timeout)
+            timeout: float = 600.0, poll: float = 0.05) -> JobView:
+        """Submit and wait: the one-call equivalent of ``repro run``.
+
+        Without a :class:`RetryPolicy` this raises on the first failure
+        (historical behavior, relied on by backpressure tests).  With
+        one, connection errors, 429, 503, and mid-poll 404 (shard
+        failover: the restarted shard knows the work but not the old
+        job id) are retried with backoff+jitter until ``max_attempts``
+        or the policy deadline — whichever comes first.
+        """
+        if self.retry is None:
+            view = self.submit(request)
+            if view.status.terminal:
+                return view
+            return self.wait(view.job_id, timeout=timeout)
+
+        policy = self.retry
+        deadline = time.monotonic() + min(timeout, policy.max_deadline)
+        failures = 0
+        while True:
+            try:
+                view = self.submit(request)
+                while not view.status.terminal:
+                    if time.monotonic() >= deadline:
+                        raise DeadlineExceeded(
+                            f"job {view.job_id} still "
+                            f"{view.status.value} at the retry deadline")
+                    time.sleep(poll)
+                    view = self.job(view.job_id)
+                return view
+            except RETRYABLE as error:
+                failures += 1
+                self._pause(policy, failures, deadline, error)
+
+    def _pause(self, policy: RetryPolicy, failures: int, deadline: float,
+               error: ServeClientError) -> None:
+        """Sleep before the next attempt, or give up loudly."""
+        if failures >= policy.max_attempts:
+            raise ServeClientError(
+                f"gave up after {failures} attempt(s): {error}"
+            ) from error
+        delay = policy.delay(failures, getattr(error, "retry_after", None))
+        if time.monotonic() + delay >= deadline:
+            raise DeadlineExceeded(
+                f"retry deadline ({policy.max_deadline:.0f}s) would be "
+                f"exceeded waiting out: {error}"
+            ) from error
+        self.retries += 1
+        time.sleep(delay)
 
     def metrics_text(self) -> str:
         """The raw Prometheus exposition of ``/metrics``."""

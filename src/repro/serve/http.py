@@ -64,6 +64,85 @@ _STATUS_TEXT = {
 }
 
 
+class HttpParseError(Exception):
+    """A request violated the HTTP framing; carries the error response."""
+
+    def __init__(self, status: int, body: Mapping[str, Any]) -> None:
+        super().__init__(body.get("error", {}).get("message", "bad request"))
+        self.status = status
+        self.body = body
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one request off a stream: ``(method, path, headers, body)``.
+
+    Returns ``None`` for an empty connection (client connected and went
+    away) and raises :class:`HttpParseError` on malformed framing.
+    Shared by the single-broker server and the cluster router so both
+    speak exactly the same dialect.
+    """
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        return None
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise HttpParseError(400, error_body(
+            "protocol", f"malformed request line {request_line!r}"))
+    method, target, _ = parts
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        line = (await reader.readline()).decode("latin-1")
+        if line in ("\r\n", "\n", ""):
+            break
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpParseError(400, error_body(
+            "protocol", "too many request headers"))
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HttpParseError(400, error_body(
+                "protocol", f"bad Content-Length {length!r}")) from None
+        if size > MAX_BODY_BYTES:
+            raise HttpParseError(413, error_body(
+                "protocol", f"body of {size} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"))
+        body = await reader.readexactly(size)
+
+    return method, target.split("?", 1)[0], headers, body
+
+
+async def write_raw(writer: asyncio.StreamWriter, status: int,
+                    payload: bytes, content_type: str,
+                    extra_headers: Mapping[str, str] | None = None) -> None:
+    """Write one complete ``Connection: close`` response."""
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(payload)
+    await writer.drain()
+
+
+async def write_json(writer: asyncio.StreamWriter, status: int,
+                     document: Mapping[str, Any],
+                     extra_headers: Mapping[str, str] | None = None) -> None:
+    """Write one JSON response (the canonical body encoding)."""
+    await write_raw(writer, status, dumps(document), "application/json",
+                    extra_headers)
+
+
 class HttpServer:
     """The asyncio server: one handler coroutine per connection."""
 
@@ -109,44 +188,14 @@ class HttpServer:
 
     async def _handle_one(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> None:
-        request_line = (await reader.readline()).decode("latin-1").strip()
-        if not request_line:
+        try:
+            parsed = await read_http_request(reader)
+        except HttpParseError as error:
+            await self._respond(writer, error.status, error.body)
             return
-        parts = request_line.split()
-        if len(parts) != 3:
-            await self._respond(writer, 400, error_body(
-                "protocol", f"malformed request line {request_line!r}"))
+        if parsed is None:
             return
-        method, target, _ = parts
-        headers: dict[str, str] = {}
-        for _ in range(MAX_HEADER_LINES):
-            line = (await reader.readline()).decode("latin-1")
-            if line in ("\r\n", "\n", ""):
-                break
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            await self._respond(writer, 400, error_body(
-                "protocol", "too many request headers"))
-            return
-
-        body = b""
-        length = headers.get("content-length")
-        if length is not None:
-            try:
-                size = int(length)
-            except ValueError:
-                await self._respond(writer, 400, error_body(
-                    "protocol", f"bad Content-Length {length!r}"))
-                return
-            if size > MAX_BODY_BYTES:
-                await self._respond(writer, 413, error_body(
-                    "protocol", f"body of {size} bytes exceeds the "
-                    f"{MAX_BODY_BYTES}-byte limit"))
-                return
-            body = await reader.readexactly(size)
-
-        path = target.split("?", 1)[0]
+        method, path, _headers, body = parsed
         await self._route(writer, method, path, body)
 
     async def _route(self, writer: asyncio.StreamWriter, method: str,
@@ -284,23 +333,14 @@ class HttpServer:
                        document: Mapping[str, Any],
                        extra_headers: Mapping[str, str] | None = None
                        ) -> None:
-        await self._respond_raw(writer, status, dumps(document),
-                                "application/json", extra_headers)
+        await write_json(writer, status, document, extra_headers)
 
     async def _respond_raw(self, writer: asyncio.StreamWriter, status: int,
                            payload: bytes, content_type: str,
                            extra_headers: Mapping[str, str] | None = None
                            ) -> None:
-        reason = _STATUS_TEXT.get(status, "Unknown")
-        head = [f"HTTP/1.1 {status} {reason}",
-                f"Content-Type: {content_type}",
-                f"Content-Length: {len(payload)}",
-                "Connection: close"]
-        for name, value in (extra_headers or {}).items():
-            head.append(f"{name}: {value}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
-        writer.write(payload)
-        await writer.drain()
+        await write_raw(writer, status, payload, content_type,
+                        extra_headers)
 
 
 async def run_server(
@@ -339,8 +379,11 @@ async def run_server(
             # Non-main thread or unsupported platform: stop_event only.
             pass
 
+    shard_suffix = (f", shard={broker.shard_name}"
+                    if broker.shard_name != "broker" else "")
     announce(f"repro serve: listening on http://{host}:{server.port} "
-             f"(workers={broker.workers}, max_pending={broker.max_pending})")
+             f"(workers={broker.workers}, max_pending={broker.max_pending}"
+             f"{shard_suffix})")
     if ready_event is not None:
         ready_event.set()
     try:
@@ -440,6 +483,8 @@ def main_serve(args: Any) -> int:
             batch_window=args.batch_window,
             batch_max=args.batch_max,
             task_timeout=args.timeout,
+            shard_name=getattr(args, "shard_name", "broker"),
+            recover=not getattr(args, "no_recover", False),
         ))
     except KeyboardInterrupt:  # SIGINT before the handler was installed
         print("repro serve: interrupted before drain", file=sys.stderr)
