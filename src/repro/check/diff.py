@@ -1,6 +1,6 @@
 """Differential harnesses: implementation vs oracle, fast vs reference.
 
-Three harnesses, each replaying one trace and reporting the **first
+Four harnesses, each replaying one trace and reporting the **first
 divergence** with a machine-state dump (or ``None`` when the replay is
 clean):
 
@@ -13,6 +13,11 @@ clean):
   reference engine on fresh machines and compares the full result
   serialization plus hierarchy statistics (they are documented as
   bit-identical).
+* :func:`diff_batch` — runs many lanes through the
+  :class:`~repro.sim.batch.BatchSimulationEngine` at once and compares
+  every lane's result serialization and hierarchy statistics against a
+  fresh per-cell fast-path run (the batch backend's bit-identity
+  contract).
 * :func:`diff_hierarchy` — steps the implementation hierarchy through
   both its reference and ``*_fast`` methods alongside the hierarchy
   oracle, interleaving deterministic prefetch fills, and compares
@@ -57,7 +62,8 @@ class Divergence:
     """First point where two models of the same machine disagree.
 
     Attributes:
-        kind: ``"prefetcher"``, ``"engine"``, or ``"hierarchy"``.
+        kind: ``"prefetcher"``, ``"engine"``, ``"batch"``, or
+            ``"hierarchy"``.
         subject: prefetcher/config name under test.
         trace: name of the trace that exposed the divergence.
         event_index: position in the event stream (-1 for end-of-run
@@ -225,6 +231,62 @@ def diff_engine(
     return None
 
 
+def diff_batch(
+    names: List[str],
+    trace: Trace,
+    configs: Optional[List[SimConfig]] = None,
+    config: SimConfig = REDUCED_CONFIG,
+) -> Optional[Divergence]:
+    """Fast path vs batch backend, lane by lane; first mismatch.
+
+    All ``names`` run as one :class:`~repro.sim.batch.BatchSimulationEngine`
+    over ``trace`` (so cross-lane interference bugs are visible), and
+    every lane is compared — result serialization and hierarchy
+    statistics — against a fresh per-cell fast-path run.  Pass
+    ``configs`` (position-matched to ``names``) to exercise mixed-config
+    lanes; otherwise every lane uses ``config``.
+    """
+    from repro.sim.batch import BatchLane, BatchSimulationEngine
+
+    if configs is None:
+        configs = [config] * len(names)
+    lanes = [BatchLane(prefetcher=name, config=lane_config)
+             for name, lane_config in zip(names, configs)]
+    batch_engine = BatchSimulationEngine(lanes)
+    batch_results = batch_engine.run(trace)
+    for index, (lane, batch_result) in enumerate(zip(lanes, batch_results)):
+        fast_engine = SimulationEngine(
+            lane.config, make_prefetcher(lane.prefetcher)
+        )
+        fast = fast_engine.run(trace).to_dict()
+        batch = batch_result.to_dict()
+        if batch != fast:
+            keys = [key for key in fast if batch.get(key) != fast[key]]
+            return Divergence(
+                kind="batch", subject=lane.prefetcher, trace=trace.name,
+                event_index=-1,
+                description=(
+                    f"batch lane {index} result differs from fast path "
+                    f"on {keys}"
+                ),
+                expected={key: fast[key] for key in keys},
+                actual={key: batch.get(key) for key in keys},
+            )
+        fast_stats = vars(fast_engine.hierarchy.stats)
+        batch_stats = vars(batch_engine.hierarchies[index].stats)
+        if batch_stats != fast_stats:
+            return Divergence(
+                kind="batch", subject=lane.prefetcher, trace=trace.name,
+                event_index=-1,
+                description=(
+                    f"batch lane {index} hierarchy statistics differ "
+                    "from fast path"
+                ),
+                expected=fast_stats, actual=batch_stats,
+            )
+    return None
+
+
 _FAST_OUTCOMES = {0: "l1", 1: "l2", 2: "l2-prefetch", 3: "memory"}
 
 
@@ -329,8 +391,13 @@ def diff_all(
         divergence = diff_prefetcher(name, trace)
         if divergence is not None:
             divergences.append(divergence)
-    for name in engine_names if engine_names is not None else sorted(PREFETCHER_FACTORIES):
+    batch_names = (engine_names if engine_names is not None
+                   else sorted(PREFETCHER_FACTORIES))
+    for name in batch_names:
         divergence = diff_engine(name, trace)
         if divergence is not None:
             divergences.append(divergence)
+    batch_divergence = diff_batch(list(batch_names), trace)
+    if batch_divergence is not None:
+        divergences.append(batch_divergence)
     return divergences

@@ -78,6 +78,13 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for grid execution "
              "(0 = all cores, 1 = in-process; default 0)",
     )
+    parser.add_argument(
+        "--engine", choices=("auto", "fast", "reference", "batch"),
+        default="auto",
+        help="simulation engine tier: auto batches a workload's cells "
+             "when enough of them share its trace; fast/reference/batch "
+             "force one tier (default auto)",
+    )
     _add_cache_arguments(parser)
     parser.add_argument(
         "--no-result-cache", action="store_true",
@@ -111,6 +118,7 @@ def _runner(args: argparse.Namespace) -> GridRunner:
         run_id=getattr(args, "run_id", None),
         resume=getattr(args, "resume", None),
         strict=getattr(args, "strict", False),
+        engine=getattr(args, "engine", "auto"),
     )
 
 
@@ -571,6 +579,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   else lambda workload: print(f"  bench: {workload}",
                                               file=sys.stderr)),
         cache_phase=not args.no_cache_phase,
+        engine=args.engine,
     )
 
     baseline = None
@@ -885,6 +894,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--no-progress", action="store_true",
         help="suppress per-workload progress lines on stderr")
+    bench_parser.add_argument(
+        "--engine", choices=("fast", "batch"), default="fast",
+        help="simulation engine to benchmark: 'fast' times each cell "
+             "individually, 'batch' times one batched run per workload "
+             "over the extended prefetcher set (default fast)")
     _add_profile_argument(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
 
