@@ -1,0 +1,36 @@
+"""Extension: learned prefetchers (Pangloss Markov + Pythia RL).
+
+Post-2014 related work against the paper's schemes, over the full
+30-workload suite: do loop annotations (CBWS) still buy anything once a
+prefetcher *learns* its delta policy — from frequency statistics
+(Pangloss) or from demand-feedback rewards (Pythia)?
+"""
+
+from repro.harness import experiments
+
+from conftest import publish
+
+
+def bench_extension_learned(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiments.extension_learned(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "extension_learned", result.render())
+
+    grid = result.grid
+    assert len(grid.workloads) == 30
+
+    # Dense streaming: both learned schemes lock onto the +1 delta.
+    # Pangloss's degree-4 chain walk hides most of the miss latency;
+    # Pythia issues a single delta per miss, so its speedup is modest
+    # but its policy converges to near-perfect accuracy.
+    libquantum_none = grid.get("462.libquantum-ref", "no-prefetch").ipc
+    assert grid.get("462.libquantum-ref", "pangloss").ipc > 1.5 * libquantum_none
+    assert grid.get("462.libquantum-ref", "pythia").ipc > libquantum_none
+    assert grid.get("462.libquantum-ref", "pythia").accuracy > 0.9
+
+    # Pointer chasing defeats delta prediction; the confidence (Pangloss)
+    # and reward (Pythia) gates must keep accuracy-destroying issue in
+    # check rather than flooding the bus.
+    for name in ("pangloss", "pythia"):
+        assert grid.get("429.mcf-ref", name).accuracy < 0.5, name

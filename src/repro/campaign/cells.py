@@ -27,14 +27,17 @@ one of three groups:
     .resolve_config`; the remaining cache-shape paths go beyond what the
     wire protocol can express (see :func:`serve_inexpressible`).
 *prefetcher geometry*
-    ``cbws.*`` — CBWS geometry knobs.  These do not touch the machine
-    config at all: they fold into the prefetcher *name* as an inline
-    parameter block (``cbws[table_entries=64]``), which the registry's
+    ``cbws.*``, ``pangloss.*``, ``pythia.*`` — geometry and learning
+    knobs of the parametric prefetcher families.  These do not touch
+    the machine config at all: they fold into the prefetcher *name* as
+    an inline parameter block (``cbws[table_entries=64]``,
+    ``pythia[alpha=0.01]``), which the registry's
     :func:`~repro.harness.registry.make_prefetcher` understands
-    everywhere.  Applied to a non-parametric prefetcher (e.g. ``sms``)
-    they are no-ops, so all points along a cbws axis collapse to one
-    content key — the planner's dedup turns that into compute saved
-    rather than wasted baseline reruns.
+    everywhere.  Applied to a prefetcher outside the path's family
+    (e.g. ``pythia.alpha`` on ``sms`` — or on ``pangloss``) they are
+    no-ops, so all points along that axis collapse to one content key —
+    the planner's dedup turns that into compute saved rather than
+    wasted baseline reruns.
 """
 
 from __future__ import annotations
@@ -46,8 +49,11 @@ from typing import Any, Mapping
 from repro.common.errors import CampaignError, ConfigError
 from repro.harness.registry import (
     CBWS_PARAM_FIELDS,
-    PARAMETRIC_FAMILIES,
+    PANGLOSS_PARAM_FIELDS,
+    PYTHIA_PARAM_FIELDS,
     canonical_prefetcher_name,
+    coerce_param,
+    format_param_value,
     parse_prefetcher_name,
 )
 from repro.sim.config import REDUCED_CONFIG, SimConfig
@@ -77,8 +83,31 @@ CONFIG_PARAMS = frozenset({
 #: CBWS geometry paths (fold into the prefetcher name).
 CBWS_PARAMS = frozenset(f"cbws.{field}" for field in sorted(CBWS_PARAM_FIELDS))
 
+#: Pangloss geometry paths (fold into the prefetcher name).
+PANGLOSS_PARAMS = frozenset(
+    f"pangloss.{field}" for field in sorted(PANGLOSS_PARAM_FIELDS)
+)
+
+#: Pythia geometry/learning paths (fold into the prefetcher name).
+PYTHIA_PARAMS = frozenset(
+    f"pythia.{field}" for field in sorted(PYTHIA_PARAM_FIELDS)
+)
+
+#: Geometry path prefix -> the base names the paths apply to.  A path
+#: whose prefix does not match the cell's base prefetcher is a no-op
+#: (the point collapses onto the unparametrized cell).  ``cbws.*``
+#: reaches both CBWS variants because they share one config.
+GEOMETRY_FAMILIES: dict[str, tuple[str, ...]] = {
+    "cbws": ("cbws", "cbws+sms"),
+    "pangloss": ("pangloss",),
+    "pythia": ("pythia",),
+}
+
+#: Every geometry path (all families).
+GEOMETRY_PARAMS = CBWS_PARAMS | PANGLOSS_PARAMS | PYTHIA_PARAMS
+
 #: Every sweepable parameter path.
-KNOWN_PARAMS = IDENTITY_PARAMS | CONFIG_PARAMS | CBWS_PARAMS
+KNOWN_PARAMS = IDENTITY_PARAMS | CONFIG_PARAMS | GEOMETRY_PARAMS
 
 #: Config paths the serve wire protocol cannot express (cache shape is
 #: not part of the sparse-override schema).
@@ -262,15 +291,20 @@ def build_cell(
         else:
             seed = int(value)
 
-    cbws_point = {
-        path.split(".", 1)[1]: int(point[path])
-        for path in CBWS_PARAMS & set(point)
-    }
     try:
         base_name, base_params = parse_prefetcher_name(prefetcher)
-        if cbws_point and base_name in PARAMETRIC_FAMILIES:
-            merged = {**base_params, **cbws_point}
-            body = ",".join(f"{k}={merged[k]}" for k in sorted(merged))
+        geometry_point: dict[str, Any] = {}
+        for path in GEOMETRY_PARAMS & set(point):
+            prefix, field = path.split(".", 1)
+            if base_name in GEOMETRY_FAMILIES[prefix]:
+                geometry_point[field] = coerce_param(
+                    base_name, field, point[path]
+                )
+        if geometry_point:
+            merged = {**base_params, **geometry_point}
+            body = ",".join(
+                f"{k}={format_param_value(merged[k])}" for k in sorted(merged)
+            )
             prefetcher = canonical_prefetcher_name(f"{base_name}[{body}]")
         else:
             prefetcher = canonical_prefetcher_name(prefetcher)
@@ -311,8 +345,11 @@ def baseline_params(base: SimConfig = REDUCED_CONFIG) -> dict[str, Any]:
     baseline too).
     """
     from repro.core.predictor import CbwsConfig
+    from repro.prefetchers.learned import PanglossConfig, PythiaConfig
 
     cbws = CbwsConfig()
+    pangloss = PanglossConfig()
+    pythia = PythiaConfig()
     return {
         "scale": 1.0,
         "budget_fraction": 1.0,
@@ -335,6 +372,14 @@ def baseline_params(base: SimConfig = REDUCED_CONFIG) -> dict[str, Any]:
         **{
             f"cbws.{field}": getattr(cbws, field)
             for field in sorted(CBWS_PARAM_FIELDS)
+        },
+        **{
+            f"pangloss.{field}": getattr(pangloss, field)
+            for field in sorted(PANGLOSS_PARAM_FIELDS)
+        },
+        **{
+            f"pythia.{field}": getattr(pythia, field)
+            for field in sorted(PYTHIA_PARAM_FIELDS)
         },
     }
 

@@ -54,6 +54,8 @@ DIFF_PREFETCHERS = [
     "ampm",
     "cbws",
     "cbws+sms",
+    "pangloss",
+    "pythia",
 ]
 
 

@@ -36,10 +36,11 @@ from repro.check.diff import (
     diff_engine,
     diff_prefetcher,
 )
-from repro.check.oracles import CbwsOracle, make_oracle
+from repro.check.oracles import CbwsOracle, PanglossOracle, make_oracle
 from repro.core.buffers import CurrentCbwsBuffer
 from repro.core.predictor import CbwsConfig
 from repro.core.prefetcher import CbwsPrefetcher
+from repro.prefetchers.learned import PanglossConfig, PanglossPrefetcher
 from repro.trace.events import (
     BLOCK_BEGIN,
     BLOCK_END,
@@ -439,10 +440,46 @@ def _injected_cbws_oracle() -> CbwsOracle:
     return CbwsOracle(max_vector_members=4)
 
 
+#: Tiny Pangloss geometry shared by the faulty implementation and its
+#: honest oracle: saturation, slot eviction, and row reuse all happen
+#: within a handful of accesses, keeping counterexamples small.
+_PANGLOSS_INJECTION_GEOMETRY = dict(
+    page_entries=4, markov_rows=8, row_slots=2, counter_max=2, degree=2,
+)
+
+
+class _LfuOffByOnePangloss(PanglossPrefetcher):
+    """Pangloss whose LFU decay fires one bump later than configured.
+
+    The classic saturating-counter fencepost: testing ``> max + 1``
+    instead of ``> max`` lets a slot overshoot the counter ceiling by
+    one before the row halves, skewing every later frequency comparison
+    (confidence gates, coldest-slot evictions) in the row.
+    """
+
+    def _decay_due(self, count: int) -> bool:
+        return count + 1 > self.config.counter_max + 1
+
+
+def _injected_pangloss_lfu_off_by_one() -> PanglossPrefetcher:
+    return _LfuOffByOnePangloss(
+        PanglossConfig(**_PANGLOSS_INJECTION_GEOMETRY)
+    )
+
+
+def _injected_pangloss_oracle() -> PanglossOracle:
+    return PanglossOracle(**_PANGLOSS_INJECTION_GEOMETRY)
+
+
 #: name -> (prefetcher name, faulty implementation, matching honest oracle).
 INJECTIONS: Dict[str, Tuple[str, Callable[[], Any], Callable[[], Any]]] = {
     "cbws-fifo-off-by-one": (
         "cbws", _injected_cbws_fifo_off_by_one, _injected_cbws_oracle
+    ),
+    "pangloss-lfu-off-by-one": (
+        "pangloss",
+        _injected_pangloss_lfu_off_by_one,
+        _injected_pangloss_oracle,
     ),
 }
 

@@ -30,6 +30,7 @@ and the CBWS history table's random eviction draws from
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 
@@ -439,6 +440,328 @@ class AmpmOracle(_OracleBase):
         return candidates
 
 
+class PanglossOracle(_OracleBase):
+    """Frequency-based delta Markov chain (Pangloss, arXiv 1906.00877).
+
+    Transcribed from the documented machine: an LRU page tracker of
+    ``(last_offset, last_delta)`` pairs fed by the miss stream, and an
+    LRU transition table mapping a previous delta to a row of
+    ``next_delta -> counter`` slots with a running total.  Bumping a
+    counter past ``counter_max`` first halves the whole row (dropping
+    zeroed slots); inserting into a full row evicts the coldest slot
+    (smallest count, ties to the smallest delta).  Prediction walks the
+    chain greedily — strongest confident successor per step, in-page
+    only, up to ``degree`` candidates — without refreshing row recency.
+    """
+
+    name = "pangloss"
+
+    def __init__(
+        self,
+        lines_per_page: int = 64,
+        page_entries: int = 256,
+        markov_rows: int = 1024,
+        row_slots: int = 8,
+        counter_max: int = 15,
+        degree: int = 4,
+        confidence_percent: int = 20,
+    ) -> None:
+        super().__init__()
+        self.lines_per_page = lines_per_page
+        self.page_shift = lines_per_page.bit_length() - 1
+        self.page_entries = page_entries
+        self.markov_rows = markov_rows
+        self.row_slots = row_slots
+        self.counter_max = counter_max
+        self.degree = degree
+        self.confidence_percent = confidence_percent
+        self.pages: Dict[int, List[int]] = {}  # page -> [offset, delta]
+        self.rows: Dict[int, list] = {}  # prev -> [total, {next: count}]
+
+    def _train(self, prev_delta: int, next_delta: int) -> None:
+        row = self.rows.get(prev_delta)
+        if row is None:
+            if len(self.rows) >= self.markov_rows:
+                del self.rows[next(iter(self.rows))]
+                self.features.add("pangloss:row-evict")
+            row = [0, {}]
+            self.rows[prev_delta] = row
+        else:
+            self.rows[prev_delta] = self.rows.pop(prev_delta)
+        slots = row[1]
+        if slots.get(next_delta, 0) + 1 > self.counter_max:
+            for delta in list(slots):
+                slots[delta] //= 2
+                if slots[delta] == 0:
+                    del slots[delta]
+            row[0] = sum(slots.values())
+            self.features.add("pangloss:decay")
+        if next_delta not in slots and len(slots) >= self.row_slots:
+            victim = min(slots, key=lambda delta: (slots[delta], delta))
+            row[0] -= slots.pop(victim)
+            self.features.add("pangloss:slot-evict")
+        slots[next_delta] = slots.get(next_delta, 0) + 1
+        row[0] += 1
+        self.features.add("pangloss:train")
+
+    def _best(self, delta: int) -> Optional[int]:
+        row = self.rows.get(delta)  # lookups leave recency alone
+        if row is None or row[0] <= 0:
+            return None
+        best: Optional[int] = None
+        best_count = 0
+        for successor, count in row[1].items():
+            if count > best_count or (
+                count == best_count and best is not None and successor < best
+            ):
+                best, best_count = successor, count
+        if best is None:
+            return None
+        if best_count * 100 < row[0] * self.confidence_percent:
+            self.features.add("pangloss:low-confidence")
+            return None
+        return best
+
+    def on_access(self, info: Any) -> List[int]:
+        if info.l1_hit:
+            return []
+        page = info.line >> self.page_shift
+        offset = info.line & (self.lines_per_page - 1)
+        entry = self.pages.get(page)
+        if entry is None:
+            if len(self.pages) >= self.page_entries:
+                del self.pages[next(iter(self.pages))]
+                self.features.add("pangloss:page-evict")
+            self.pages[page] = [offset, 0]
+            self.features.add("pangloss:page-new")
+            return []
+        self.pages[page] = self.pages.pop(page)
+        delta = offset - entry[0]
+        if delta == 0:
+            return []
+        prev_delta = entry[1]
+        entry[0] = offset
+        entry[1] = delta
+        if prev_delta != 0:
+            self._train(prev_delta, delta)
+
+        candidates: List[int] = []
+        page_base = page << self.page_shift
+        walk_offset = offset
+        walk_delta = delta
+        for _ in range(self.degree):
+            successor = self._best(walk_delta)
+            if successor is None:
+                break
+            walk_offset += successor
+            if not 0 <= walk_offset < self.lines_per_page:
+                break
+            line = page_base + walk_offset
+            if line != info.line and line not in candidates:
+                candidates.append(line)
+            walk_delta = successor
+        if candidates:
+            self.features.add("pangloss:predict")
+        if len(candidates) >= 2:
+            self.features.add("pangloss:chain")
+        return candidates
+
+
+class PythiaOracle(_OracleBase):
+    """Tabular SARSA prefetcher (Pythia-style, arXiv 2109.12021).
+
+    Transcribed from the documented machine: one decision per L1 miss,
+    state built from the configured feature set (folded PC, non-zero
+    in-page delta history, page offset), an LRU Q-table of float rows,
+    epsilon-greedy action selection, and shadow-tracked predictions
+    whose fate (timely / late / useless) becomes the SARSA reward.
+
+    Mirrored stochastic contract: the implementation draws from the
+    named stream ``"pythia.explore"``, which is ``random.Random`` seeded
+    with ``(seed * 1_000_003 + crc32("pythia.explore")) & 0x7FFF_FFFF``;
+    every decision first draws ``randrange(1_000_000)`` and, when it
+    falls under ``round(epsilon * 1e6)``, a second ``randrange(actions)``
+    picks uniformly.  Q-updates use the exact expression shape
+    ``q + alpha * (r + gamma * q_next - q)`` so floats stay
+    bit-identical.
+    """
+
+    name = "pythia"
+
+    ACTIONS = (-6, -3, -1, 0, 1, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32)
+
+    def __init__(
+        self,
+        feature_set: str = "pc+delta",
+        history_len: int = 2,
+        actions: Tuple[int, ...] = ACTIONS,
+        alpha: float = 0.0065,
+        gamma: float = 0.556,
+        epsilon: float = 0.002,
+        q_entries: int = 4096,
+        page_entries: int = 64,
+        inflight_entries: int = 64,
+        timely_age: int = 12,
+        useless_age: int = 256,
+        reward_timely: int = 20,
+        reward_late: int = 12,
+        reward_useless: int = -14,
+        reward_none: int = -2,
+        lines_per_page: int = 64,
+        pc_bits: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.feature_parts = feature_set.split("+")
+        self.history_len = history_len
+        self.actions = actions
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon_cut = int(round(epsilon * 1_000_000))
+        self.q_entries = q_entries
+        self.page_entries = page_entries
+        self.inflight_entries = inflight_entries
+        self.timely_age = timely_age
+        self.useless_age = useless_age
+        self.reward_timely = reward_timely
+        self.reward_late = reward_late
+        self.reward_useless = reward_useless
+        self.reward_none = reward_none
+        self.lines_per_page = lines_per_page
+        self.page_shift = lines_per_page.bit_length() - 1
+        self.pc_mask = (1 << pc_bits) - 1
+        derived = (seed * 1_000_003 + zlib.crc32(b"pythia.explore")) \
+            & 0x7FFF_FFFF
+        self.rng = random.Random(derived)
+        self.tick = 0
+        self.next_decision = 0
+        self.history: List[int] = []
+        self.pages: Dict[int, int] = {}  # page -> last offset; order = LRU
+        self.q: Dict[tuple, List[float]] = {}  # state -> row; order = LRU
+        self.inflight: Dict[int, Tuple[int, int]] = {}  # line -> (id, tick)
+        self.ledger: Dict[int, list] = {}  # id -> [row, a, r, row', a']
+        self.previous: Optional[int] = None
+
+    def _apply(self, decision: int) -> None:
+        entry = self.ledger.get(decision)
+        if entry is None or entry[2] is None or entry[3] is None:
+            return
+        row, action, reward, next_row, next_action = entry
+        q = row[action]
+        row[action] = q + self.alpha * (
+            reward + self.gamma * next_row[next_action] - q
+        )
+        del self.ledger[decision]
+        self.features.add("pythia:learn")
+
+    def _resolve(self, decision: int, reward: int) -> None:
+        entry = self.ledger.get(decision)
+        if entry is not None:
+            entry[2] = reward
+            self._apply(decision)
+
+    def on_access(self, info: Any) -> List[int]:
+        record = self.inflight.pop(info.line, None)
+        if record is not None:
+            decision, issue_tick = record
+            if self.tick - issue_tick >= self.timely_age:
+                self.features.add("pythia:timely")
+                self._resolve(decision, self.reward_timely)
+            else:
+                self.features.add("pythia:late")
+                self._resolve(decision, self.reward_late)
+        if info.l1_hit:
+            return []
+
+        while self.inflight:
+            line = next(iter(self.inflight))
+            decision, issue_tick = self.inflight[line]
+            if self.tick - issue_tick <= self.useless_age:
+                break
+            del self.inflight[line]
+            self.features.add("pythia:useless")
+            self._resolve(decision, self.reward_useless)
+
+        page = info.line >> self.page_shift
+        offset = info.line & (self.lines_per_page - 1)
+        last_offset = self.pages.get(page)
+        if last_offset is None:
+            if len(self.pages) >= self.page_entries:
+                del self.pages[next(iter(self.pages))]
+        else:
+            self.pages[page] = self.pages.pop(page)
+        self.pages[page] = offset
+        delta = 0 if last_offset is None else offset - last_offset
+        if delta != 0:
+            self.history.append(delta)
+            del self.history[: -self.history_len]
+
+        state_parts: List[Any] = []
+        for part in self.feature_parts:
+            if part == "pc":
+                state_parts.append(info.pc & self.pc_mask)
+            elif part == "delta":
+                state_parts.append(tuple(self.history))
+            else:  # offset
+                state_parts.append(offset)
+        state = tuple(state_parts)
+
+        row = self.q.get(state)
+        if row is None:
+            if len(self.q) >= self.q_entries:
+                del self.q[next(iter(self.q))]
+                self.features.add("pythia:q-evict")
+            row = [0.0] * len(self.actions)
+            self.q[state] = row
+        else:
+            self.q[state] = self.q.pop(state)
+
+        if self.rng.randrange(1_000_000) < self.epsilon_cut:
+            action = self.rng.randrange(len(self.actions))
+            self.features.add("pythia:explore")
+        else:
+            action = 0
+            for index in range(1, len(row)):
+                if row[index] > row[action]:
+                    action = index
+            self.features.add("pythia:exploit")
+
+        decision = self.next_decision
+        self.next_decision += 1
+        self.ledger[decision] = [row, action, None, None, None]
+        if self.previous is not None:
+            entry = self.ledger.get(self.previous)
+            if entry is not None:
+                entry[3] = row
+                entry[4] = action
+                self._apply(self.previous)
+        self.previous = decision
+
+        candidates: List[int] = []
+        action_delta = self.actions[action]
+        target_offset = offset + action_delta
+        if action_delta == 0 or not (
+            0 <= target_offset < self.lines_per_page
+        ):
+            self.features.add("pythia:no-prefetch")
+            self._resolve(decision, self.reward_none)
+        else:
+            target = (page << self.page_shift) + target_offset
+            displaced = self.inflight.pop(target, None)
+            if displaced is not None:
+                self._resolve(displaced[0], self.reward_useless)
+            if len(self.inflight) >= self.inflight_entries:
+                line = next(iter(self.inflight))
+                old_decision, _ = self.inflight.pop(line)
+                self.features.add("pythia:useless")
+                self._resolve(old_decision, self.reward_useless)
+            self.inflight[target] = (decision, self.tick)
+            self.features.add("pythia:issue")
+            candidates.append(target)
+        self.tick += 1
+        return candidates
+
+
 class CbwsOracle(_OracleBase):
     """Standalone CBWS prefetcher (Algorithm 1 / Figure 8).
 
@@ -790,7 +1113,7 @@ class HierarchyOracle:
 
 
 #: Oracle factories, keyed by the registry names of the implementations
-#: they model.  These are the eight prefetcher configurations the
+#: they model.  These are the ten prefetcher configurations the
 #: differential harness verifies.
 ORACLE_FACTORIES = {
     "no-prefetch": NoPrefetchOracle,
@@ -802,6 +1125,8 @@ ORACLE_FACTORIES = {
     "ampm": AmpmOracle,
     "cbws": CbwsOracle,
     "cbws+sms": CbwsSmsOracle,
+    "pangloss": PanglossOracle,
+    "pythia": PythiaOracle,
 }
 
 

@@ -635,10 +635,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check import diff, fuzz, invariants
 
     budget = _parse_budget(args.budget)
-    names = (
-        list(diff.DIFF_PREFETCHERS) if args.prefetcher == "all"
-        else [args.prefetcher]
-    )
+    requested = args.prefetcher or ["all"]
+    if "all" in requested:
+        names = list(diff.DIFF_PREFETCHERS)
+    else:
+        names = list(dict.fromkeys(requested))
     for name in names:
         if name not in diff.DIFF_PREFETCHERS:
             known = ", ".join(diff.DIFF_PREFETCHERS)
@@ -913,8 +914,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="fuzzer seed (default 0)")
     check_parser.add_argument(
-        "--prefetcher", default="all",
-        help="verify one prefetcher by name, or 'all' (default)")
+        "--prefetcher", action="append", default=None, metavar="NAME",
+        help="verify one prefetcher by name; repeat the flag to verify "
+             "several (e.g. --prefetcher pangloss --prefetcher pythia); "
+             "'all' or omitting the flag verifies every oracle-backed "
+             "prefetcher")
     check_parser.add_argument(
         "--corpus", default="tests/corpus", metavar="DIR",
         help="frozen trace corpus to replay first (default tests/corpus)")

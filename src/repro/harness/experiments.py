@@ -681,3 +681,77 @@ def extension_robustness(
         ["no-prefetch", "sms", "markov", "cbws+sms", "fdp(cbws+sms)"],
     )
     return ExtensionRobustnessResult(grid=grid)
+
+
+# ---------------------------------------------------------------------------
+# Extension — learned prefetchers (post-2014 related work)
+# ---------------------------------------------------------------------------
+
+
+#: The comparison set: the paper's CBWS schemes against the two learned
+#: families, with no-prefetch as the speedup baseline.
+EXTENSION_LEARNED_PREFETCHERS = [
+    "no-prefetch",
+    "cbws",
+    "cbws+sms",
+    "pangloss",
+    "pythia",
+]
+
+
+@dataclass
+class ExtensionLearnedResult:
+    """Learned prefetchers (Pangloss, Pythia) against the CBWS schemes."""
+
+    grid: ResultGrid
+
+    def render(self) -> str:
+        from repro.metrics.aggregate import geometric_mean
+
+        prefetchers = EXTENSION_LEARNED_PREFETCHERS
+        rows = []
+        for workload in self.grid.workloads:
+            rows.append([
+                workload,
+                *[self.grid.get(workload, p).ipc for p in prefetchers],
+            ])
+        speedups = ["geomean-speedup", 1.0]
+        for p in prefetchers[1:]:
+            speedups.append(geometric_mean([
+                self.grid.get(w, p).ipc / self.grid.get(w, "no-prefetch").ipc
+                for w in self.grid.workloads
+            ]))
+        rows.append(speedups)
+        accuracy: list[object] = ["mean-accuracy", "-"]
+        for p in prefetchers[1:]:
+            values = [
+                self.grid.get(w, p).accuracy for w in self.grid.workloads
+            ]
+            accuracy.append(sum(values) / len(values))
+        rows.append(accuracy)
+        return format_table(
+            ["benchmark", *prefetchers], rows,
+            title=(
+                "Extension: learned prefetchers — Pangloss (Markov "
+                "frequency) and Pythia (tabular RL) vs CBWS (IPC; last "
+                "rows = geomean speedup over no-prefetch, mean accuracy)"
+            ),
+            float_format="{:.3f}",
+        )
+
+
+def extension_learned(runner: GridRunner | None = None) -> ExtensionLearnedResult:
+    """Compare the learned family with CBWS over the full suite.
+
+    Pangloss ([arXiv 1906.00877]) keeps per-page delta transitions with
+    frequency-decayed counters; Pythia ([arXiv 2109.12021]) learns a
+    prefetch-delta policy online from demand feedback.  Both are
+    *loop-agnostic*: the interesting comparison is whether CBWS's
+    explicit loop annotations still win on the paper's loop-heavy suite
+    (stencil, sgemm) while the learned schemes close the gap on dense
+    streaming (libquantum) and degrade more gracefully on pointer
+    chasing (mcf), where their confidence/reward gates suppress issue.
+    """
+    runner = runner or GridRunner()
+    grid = runner.run_grid(ALL_WORKLOADS, EXTENSION_LEARNED_PREFETCHERS)
+    return ExtensionLearnedResult(grid=grid)

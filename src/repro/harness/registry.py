@@ -25,6 +25,12 @@ from repro.core.prefetcher import CbwsPrefetcher
 from repro.prefetchers.ampm import AmpmPrefetcher
 from repro.prefetchers.base import Prefetcher
 from repro.prefetchers.ghb import GhbConfig, GhbPrefetcher
+from repro.prefetchers.learned import (
+    PanglossConfig,
+    PanglossPrefetcher,
+    PythiaConfig,
+    PythiaPrefetcher,
+)
 from repro.prefetchers.markov import MarkovPrefetcher
 from repro.prefetchers.none import NoPrefetcher
 from repro.prefetchers.sms import SmsPrefetcher
@@ -44,6 +50,9 @@ PREFETCHER_FACTORIES: dict[str, Callable[[], Prefetcher]] = {
     "ampm": AmpmPrefetcher,
     "markov": MarkovPrefetcher,
     "fdp(cbws+sms)": lambda: ThrottledPrefetcher(CbwsSmsPrefetcher()),
+    # Learned prefetchers (post-2014 related work).
+    "pangloss": PanglossPrefetcher,
+    "pythia": PythiaPrefetcher,
 }
 
 #: The bar order used by Figures 12-15.
@@ -63,13 +72,19 @@ EXTENDED_PREFETCHER_ORDER: list[str] = [
     "ampm",
     "markov",
     "fdp(cbws+sms)",
+    "pangloss",
+    "pythia",
 ]
 
 
 #: Bases that accept an inline ``[key=value,...]`` parameter block.
+#: The bool is the CBWS hybrid flag (True = CBWS over SMS); it is
+#: meaningless for the learned families, which build their own configs.
 PARAMETRIC_FAMILIES: dict[str, bool] = {
     "cbws": False,       # hybrid=False
     "cbws+sms": True,    # hybrid=True
+    "pangloss": False,
+    "pythia": False,
 }
 
 #: CbwsConfig fields settable through a parametrized name — the
@@ -82,14 +97,106 @@ CBWS_PARAM_FIELDS = frozenset({
     "max_vector_members",   # CBWS buffer capacity
 })
 
+#: PanglossConfig fields settable through a parametrized name.
+PANGLOSS_PARAM_FIELDS = frozenset({
+    "lines_per_page",
+    "page_entries",
+    "markov_rows",
+    "row_slots",
+    "counter_max",
+    "degree",
+    "confidence_percent",
+})
+
+#: PythiaConfig fields settable through a parametrized name.  The
+#: learning parameters are floats (``pythia[alpha=0.065]``) and
+#: ``feature_set`` is a string (``pythia[feature_set=pc+offset]``);
+#: values may not contain commas or brackets (the block grammar).
+PYTHIA_PARAM_FIELDS = frozenset({
+    "alpha",
+    "gamma",
+    "epsilon",
+    "feature_set",
+    "history_len",
+    "q_entries",
+    "page_entries",
+    "inflight_entries",
+    "timely_age",
+    "useless_age",
+})
+
+#: Per-family value parsers: base -> {field: str -> value}.
+_PARAM_SCHEMAS: dict[str, dict[str, Callable[[str], object]]] = {
+    "cbws": {f: int for f in CBWS_PARAM_FIELDS},
+    "cbws+sms": {f: int for f in CBWS_PARAM_FIELDS},
+    "pangloss": {f: int for f in PANGLOSS_PARAM_FIELDS},
+    "pythia": {
+        **{f: int for f in PYTHIA_PARAM_FIELDS},
+        "alpha": float,
+        "gamma": float,
+        "epsilon": float,
+        "feature_set": str,
+    },
+}
+
+#: Per-family default-config factory (for canonical default dropping).
+_FAMILY_DEFAULTS: dict[str, Callable[[], object]] = {
+    "cbws": CbwsConfig,
+    "cbws+sms": CbwsConfig,
+    "pangloss": PanglossConfig,
+    "pythia": PythiaConfig,
+}
+
 _PARAM_BLOCK = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<params>[^\[\]]*)\]$")
 
+_TYPE_LABELS = {int: "an integer", float: "a number", str: "a string"}
 
-def parse_prefetcher_name(name: str) -> tuple[str, dict[str, int]]:
+
+def format_param_value(value: object) -> str:
+    """The canonical spelling of one inline parameter value.
+
+    Integers print plainly, floats through :func:`repr` (the shortest
+    round-tripping form), strings as-is — so a parsed name reformats to
+    itself and two spellings of one value share one cache key.
+    """
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def coerce_param(base: str, key: str, value: object) -> object:
+    """Coerce one parameter value to the typed form family ``base``
+    takes in an inline block.
+
+    Campaign axes hand values over as whatever the sweep spec parsed
+    (strings, ints, floats); this funnels them through the same
+    per-family schema as :func:`parse_prefetcher_name` so a swept
+    ``pythia.alpha`` point and a hand-written ``pythia[alpha=...]``
+    name agree bit-for-bit on the canonical spelling.
+    """
+    try:
+        parser = _PARAM_SCHEMAS[base][key]
+    except KeyError:
+        raise ConfigError(f"unknown {base} parameter {key!r}") from None
+    if isinstance(value, str):
+        value = value.strip()
+    try:
+        return parser(value)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"parameter {key!r} of {base} must be "
+            f"{_TYPE_LABELS[parser]}, got {value!r}"
+        ) from None
+
+
+def parse_prefetcher_name(name: str) -> tuple[str, dict[str, object]]:
     """Split ``base[k=v,...]`` into its base name and parameter map.
 
-    A plain name returns ``(name, {})``.  Raises :class:`ConfigError`
-    on malformed blocks, unknown bases/fields, or non-integer values.
+    A plain name returns ``(name, {})``.  Values parse through the
+    family's schema (ints for geometry fields, floats for the RL
+    learning parameters, strings for ``feature_set``).  Raises
+    :class:`ConfigError` on malformed blocks, unknown bases/fields,
+    duplicates, or unparsable values.
     """
     match = _PARAM_BLOCK.match(name)
     if match is None:
@@ -105,7 +212,8 @@ def parse_prefetcher_name(name: str) -> tuple[str, dict[str, int]]:
             f"prefetcher {base!r} does not accept parameters; "
             f"parametric families: {known}"
         )
-    params: dict[str, int] = {}
+    schema = _PARAM_SCHEMAS[base]
+    params: dict[str, object] = {}
     body = match.group("params").strip()
     if not body:
         raise ConfigError(
@@ -119,19 +227,20 @@ def parse_prefetcher_name(name: str) -> tuple[str, dict[str, int]]:
                 f"malformed parameter clause {clause!r} in {name!r}; "
                 "want key=value"
             )
-        if key not in CBWS_PARAM_FIELDS:
-            known = ", ".join(sorted(CBWS_PARAM_FIELDS))
+        if key not in schema:
+            known = ", ".join(sorted(schema))
             raise ConfigError(
-                f"unknown cbws parameter {key!r} in {name!r}; known: {known}"
+                f"unknown {base} parameter {key!r} in {name!r}; known: {known}"
             )
         if key in params:
             raise ConfigError(f"duplicate parameter {key!r} in {name!r}")
+        parser = schema[key]
         try:
-            params[key] = int(value.strip())
+            params[key] = parser(value.strip())
         except ValueError:
             raise ConfigError(
-                f"parameter {key!r} in {name!r} must be an integer, "
-                f"got {value.strip()!r}"
+                f"parameter {key!r} in {name!r} must be "
+                f"{_TYPE_LABELS[parser]}, got {value.strip()!r}"
             ) from None
     return base, params
 
@@ -141,18 +250,24 @@ def canonical_prefetcher_name(name: str) -> str:
 
     Parameters sort by key so ``cbws[max_step=2,table_entries=64]`` and
     ``cbws[table_entries=64,max_step=2]`` produce one cache key.
-    Parameters equal to the :class:`CbwsConfig` default are dropped —
-    ``cbws[table_entries=16]`` *is* ``cbws``.
+    Parameters equal to the family config's default are dropped —
+    ``cbws[table_entries=16]`` *is* ``cbws``, and
+    ``pythia[gamma=0.556]`` *is* ``pythia``.
     """
     base, params = parse_prefetcher_name(name)
-    defaults = CbwsConfig()
+    if not params:
+        return base
+    defaults = _FAMILY_DEFAULTS[base]()
     meaningful = {
         key: value for key, value in params.items()
         if value != getattr(defaults, key)
     }
     if not meaningful:
         return base
-    body = ",".join(f"{key}={meaningful[key]}" for key in sorted(meaningful))
+    body = ",".join(
+        f"{key}={format_param_value(meaningful[key])}"
+        for key in sorted(meaningful)
+    )
     return f"{base}[{body}]"
 
 
@@ -160,6 +275,14 @@ def make_prefetcher(name: str) -> Prefetcher:
     """Build a fresh prefetcher by its (possibly parametrized) name."""
     base, params = parse_prefetcher_name(name)
     if params:
+        if base == "pangloss":
+            return PanglossPrefetcher(
+                dataclasses.replace(PanglossConfig(), **params)
+            )
+        if base == "pythia":
+            return PythiaPrefetcher(
+                dataclasses.replace(PythiaConfig(), **params)
+            )
         defaults = CbwsConfig()
         if "max_step" in params and "predict_steps" not in params:
             # predict_steps defaults to "all max_step registers"

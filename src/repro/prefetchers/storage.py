@@ -106,6 +106,49 @@ def ampm_storage(config: Any) -> StorageEstimate:
     return StorageEstimate("ampm", bits, {"access maps": bits})
 
 
+def pangloss_storage(config: Any) -> StorageEstimate:
+    """Page tracker plus frequency-counter transition rows.
+
+    Page tracker entries store (page tag + last offset + last delta);
+    each transition row stores its delta tag plus ``row_slots`` slots of
+    (delta, counter) with counters wide enough for ``counter_max``.
+    """
+    offset_bits = (config.lines_per_page - 1).bit_length()
+    counter_bits = config.counter_max.bit_length()
+    pages = config.page_entries * (
+        config.page_tag_bits + offset_bits + config.delta_bits
+    )
+    rows = config.markov_rows * (
+        config.delta_bits
+        + config.row_slots * (config.delta_bits + counter_bits)
+    )
+    return StorageEstimate(
+        "pangloss",
+        pages + rows,
+        {"page tracker": pages, "transition table": rows},
+    )
+
+
+def pythia_storage(config: Any) -> StorageEstimate:
+    """Q-table plus shadow structures of the RL prefetcher.
+
+    The Q-table stores a state tag and one fixed-point Q-value per
+    action; the page tracker and the in-flight shadow table are the
+    auxiliary state the reward wiring needs.
+    """
+    offset_bits = (config.lines_per_page - 1).bit_length()
+    q_table = config.q_entries * (
+        config.tag_bits + len(config.actions) * config.q_value_bits
+    )
+    pages = config.page_entries * (config.tag_bits + offset_bits)
+    inflight = config.inflight_entries * (32 + config.tag_bits)
+    return StorageEstimate(
+        "pythia",
+        q_table + pages + inflight,
+        {"q table": q_table, "page tracker": pages, "shadow table": inflight},
+    )
+
+
 def cbws_storage(config: Any) -> StorageEstimate:
     """Figure 8 component sizes for the CBWS prefetcher.
 

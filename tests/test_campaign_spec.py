@@ -308,3 +308,20 @@ class TestCells:
         assert "cbws.table_entries" in KNOWN_PARAMS
         assert "core.memory_latency" in KNOWN_PARAMS or any(
             p.startswith("core.") for p in KNOWN_PARAMS)
+        assert "pangloss.degree" in KNOWN_PARAMS
+        assert "pythia.alpha" in KNOWN_PARAMS
+
+    def test_learned_axes_fold_into_name_with_types(self):
+        cell = build_cell(
+            "nw", "pythia", {"pythia.alpha": 0.065, "pythia.gamma": 0.556},
+            scale=1.0, budget_fraction=0.02, seed=0, base=REDUCED_CONFIG,
+        )
+        # gamma=0.556 is the family default and drops out of the name.
+        assert cell.prefetcher == "pythia[alpha=0.065]"
+
+    def test_learned_axes_are_noops_off_family(self):
+        cell = build_cell(
+            "nw", "pangloss", {"pythia.alpha": 0.065},
+            scale=1.0, budget_fraction=0.02, seed=0, base=REDUCED_CONFIG,
+        )
+        assert cell.prefetcher == "pangloss"

@@ -38,7 +38,9 @@ def _corpus_paths():
 def test_corpus_replays_with_zero_divergences(path):
     trace = read_trace(path)
     trace.validate()
-    divergences = diff_all(trace, engine_names=["cbws", "cbws+sms"])
+    divergences = diff_all(
+        trace, engine_names=["cbws", "cbws+sms", "pangloss", "pythia"]
+    )
     assert divergences == [], "\n".join(str(d) for d in divergences)
 
 

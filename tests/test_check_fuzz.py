@@ -115,3 +115,22 @@ class TestFaultInjection:
             impl_factory=impl_factory, oracle_factory=oracle_factory,
         )
         assert replay is not None
+
+    @pytest.mark.learned
+    def test_pangloss_lfu_off_by_one_is_caught_and_shrunk(self):
+        # Same acceptance criterion for the learned family: a fencepost
+        # in Pangloss's LFU decay threshold must be caught and shrunk.
+        result = run_injection("pangloss-lfu-off-by-one",
+                               budget_seconds=30.0, seed=7)
+        assert result.caught
+        assert result.divergence is not None
+        assert result.counterexample is not None
+        assert result.counterexample_events <= 50
+        name, impl_factory, oracle_factory = (
+            INJECTIONS["pangloss-lfu-off-by-one"]
+        )
+        replay = diff_prefetcher(
+            name, result.counterexample,
+            impl_factory=impl_factory, oracle_factory=oracle_factory,
+        )
+        assert replay is not None

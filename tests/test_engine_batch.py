@@ -60,7 +60,7 @@ class TestBatchEquivalence:
         assert divergence is None, str(divergence)
 
     def test_full_lane_set_in_one_batch(self):
-        # All ten prefetchers advanced together over one shared trace.
+        # All twelve prefetchers advanced together over one shared trace.
         divergence = diff_batch(list(EXTENDED_PREFETCHER_ORDER), _trace())
         assert divergence is None, str(divergence)
 

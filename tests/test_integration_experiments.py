@@ -79,6 +79,14 @@ class TestGridExperiments:
         )
         assert "Figure 15" in result.render()
 
+    @pytest.mark.learned
+    def test_extension_learned_structure(self, runner):
+        result = experiments.extension_learned(runner)
+        assert len(result.grid.workloads) == 30
+        rendered = result.render()
+        assert "pangloss" in rendered and "pythia" in rendered
+        assert "geomean-speedup" in rendered and "mean-accuracy" in rendered
+
 
 class TestAblations:
     def test_history_depth_sweep(self, runner):

@@ -36,6 +36,8 @@ DOCS_DIR = REPO_ROOT / "docs" / "api"
 #: (package name under ``repro.``, one-line blurb for the index page).
 PACKAGES: list[tuple[str, str]] = [
     ("sim", "simulation engines (reference, fast, batch) and configs"),
+    ("prefetchers", "the prefetcher zoo: paper set, related work, "
+                    "learned family"),
     ("exec", "grid planning, keyed caching, schedulers, telemetry"),
     ("check", "differential harnesses, fuzzing, invariants"),
     ("serve", "simulation-as-a-service HTTP API"),
@@ -135,8 +137,13 @@ def _iter_module_names(package_name: str) -> list[str]:
     package = importlib.import_module(package_name)
     names = [package_name]
     for info in pkgutil.iter_modules(package.__path__):
-        if not info.name.startswith("_"):
-            names.append(f"{package_name}.{info.name}")
+        if info.name.startswith("_"):
+            continue
+        full_name = f"{package_name}.{info.name}"
+        if info.ispkg:
+            names.extend(_iter_module_names(full_name))
+        else:
+            names.append(full_name)
     return names
 
 
