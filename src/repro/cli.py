@@ -9,6 +9,8 @@ Everything the examples and benches do, driveable from a shell::
     python -m repro table 3
     python -m repro trace --workload nw --out nw.trace
     python -m repro inspect nw.trace
+    python -m repro ingest app.champsimtrace.xz --name app --report
+    python -m repro trace info ext:app
     python -m repro check --budget 30s --seed 7
     python -m repro exec-stats
     python -m repro serve --port 8321 --jobs 4
@@ -130,6 +132,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
             spec = REGISTRY[name]
             print(f"{spec.name:<26} {spec.suite:<15} {spec.group:<5} "
                   f"{spec.description}")
+        for record in _ingested_records():
+            print(f"{record.workload:<26} {'external':<15} {'ext':<5} "
+                  f"ingested {record.format} trace "
+                  f"({record.accesses} accesses, "
+                  f"{record.coverage:.0%} marker coverage)")
     else:
         for name in PAPER_PREFETCHER_ORDER:
             print(name)
@@ -138,6 +145,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 #: Exit code of a run that completed, but with DEGRADED holes.
 EXIT_DEGRADED = 3
+
+
+def _ingested_records():
+    """Rows of the ingest store, or [] (with a warning) when unreadable."""
+    from repro.common.errors import IngestRegistryError
+    from repro.ingest.store import IngestStore
+
+    try:
+        return IngestStore().records()
+    except IngestRegistryError as error:
+        print(f"warning: {error}", file=sys.stderr)
+        return []
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -227,6 +246,12 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.action == "info":
+        return _cmd_trace_info(args)
+    if args.workload is None or args.out is None:
+        print("error: repro trace requires --workload and --out "
+              "(or use `repro trace info <name>`)", file=sys.stderr)
+        return 2
     spec = get_workload(args.workload)
     trace = build_trace(
         spec,
@@ -239,6 +264,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"wrote {args.out}: {len(trace.events)} events, "
           f"{stats.memory_accesses} accesses, "
           f"{stats.blocks} block instances")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    """Dump the registry row of one stored (ingested) trace."""
+    from repro.ingest.store import IngestStore
+
+    if args.name is None:
+        print("error: repro trace info requires a trace name "
+              "(bare or ext:-prefixed)", file=sys.stderr)
+        return 2
+    store = IngestStore()
+    record = store.get(args.name)
+    print(f"workload:          {record.workload}")
+    print(f"digest:            {record.digest}")
+    print(f"file:              {store.root / record.file}")
+    print(f"format:            {record.format}")
+    print(f"source:            {record.source}")
+    print(f"instructions:      {record.instructions}")
+    print(f"events:            {record.events}")
+    print(f"memory accesses:   {record.accesses}")
+    print(f"marker coverage:   {record.coverage:.1%}")
+    print(f"block instances:   {record.block_instances} "
+          f"({record.block_ids} static blocks)")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Convert an external trace into a registered ``ext:`` workload."""
+    from repro.ingest.formats import detect_format
+    from repro.ingest.recover import RecoveryConfig
+    from repro.ingest.store import IngestStore
+
+    fmt = args.format or detect_format(args.file)
+    config = RecoveryConfig(
+        min_iterations=args.min_iterations,
+        infer_backedges=(fmt == "csv"),
+    )
+    record, stats = IngestStore().ingest(
+        args.file, name=args.name, fmt=fmt, config=config, force=args.force,
+    )
+    print(f"ingested {args.file} as {record.workload}")
+    print(f"  digest:  {record.digest}")
+    print(f"  format:  {record.format}; {record.instructions} instructions, "
+          f"{record.accesses} accesses, {record.events} events")
+    print(f"  markers: {record.coverage:.1%} coverage, "
+          f"{record.block_instances} block instance(s), "
+          f"{record.block_ids} static id(s)")
+    if args.report:
+        print()
+        print(stats.render())
+    print(f"\nrun it: repro run --workload {record.workload} "
+          "--prefetcher all")
     return 0
 
 
@@ -531,7 +609,11 @@ def _cmd_verify_artifacts(args: argparse.Namespace) -> int:
 
     ok = 0
     corrupt: list[tuple[Path, str]] = []
-    for path in sorted(root.glob("*.trace")):
+    trace_files = sorted(root.glob("*.trace"))
+    ingest_root = root / "ingest"
+    if ingest_root.is_dir():
+        trace_files.extend(sorted(ingest_root.glob("*.trace")))
+    for path in trace_files:
         reason = verify_trace_file(path)
         if reason is None:
             ok += 1
@@ -823,7 +905,36 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list workloads or prefetchers")
     list_parser.add_argument(
         "what", choices=["workloads", "prefetchers"])
+    _add_cache_arguments(list_parser)
     list_parser.set_defaults(handler=_cmd_list)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="convert an external trace (ChampSim or pc,address CSV; "
+             "optionally .xz/.gz) into a registered ext:<name> workload")
+    ingest_parser.add_argument(
+        "file", help="trace file (.champsimtrace or .csv, "
+                     "optionally .xz/.gz compressed)")
+    ingest_parser.add_argument(
+        "--name", default=None, metavar="N",
+        help="workload name: the trace becomes ext:<N> "
+             "(default: derived from the file name)")
+    ingest_parser.add_argument(
+        "--format", choices=["champsim", "csv"], default=None,
+        help="decoder to use (default: inferred from the file name)")
+    ingest_parser.add_argument(
+        "--report", action="store_true",
+        help="print the marker-recovery coverage report")
+    ingest_parser.add_argument(
+        "--force", action="store_true",
+        help="allow replacing an existing name with different content "
+             "(cached results keyed on the old digest are abandoned)")
+    ingest_parser.add_argument(
+        "--min-iterations", type=int, default=2, metavar="K",
+        help="back-edge traversals before a loop head starts opening "
+             "blocks (default 2)")
+    _add_cache_arguments(ingest_parser)
+    ingest_parser.set_defaults(handler=_cmd_ingest)
 
     run_parser = subparsers.add_parser(
         "run", help="simulate workload(s) against prefetcher(s)")
@@ -852,9 +963,17 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.set_defaults(handler=_cmd_table)
 
     trace_parser = subparsers.add_parser(
-        "trace", help="generate and save a workload trace")
-    trace_parser.add_argument("--workload", required=True)
-    trace_parser.add_argument("--out", required=True)
+        "trace",
+        help="generate and save a workload trace, or `trace info <name>` "
+             "to dump a stored ingested trace")
+    trace_parser.add_argument(
+        "action", nargs="?", choices=["info"],
+        help="'info' dumps the registry row of a stored ingested trace")
+    trace_parser.add_argument(
+        "name", nargs="?",
+        help="stored trace name for 'info' (bare or ext:-prefixed)")
+    trace_parser.add_argument("--workload", default=None)
+    trace_parser.add_argument("--out", default=None)
     trace_parser.add_argument(
         "--accesses", type=int, default=None,
         help="memory-access budget (default: the workload's own)")
@@ -1212,6 +1331,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     faults.install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        # Export the ingest-store location so exec-pool workers, serve
+        # shards, and cluster subprocesses resolve ext: workloads against
+        # the same store as this process.  An explicit env var wins.
+        os.environ.setdefault(
+            "REPRO_INGEST_STORE", os.path.join(cache_dir, "ingest"))
     profiling = getattr(args, "profile", False)
     if profiling:
         obs.enable()

@@ -54,6 +54,37 @@ class IntegrityError(ReproError):
     """A persisted artifact failed its checksum or schema check."""
 
 
+class IngestError(ReproError):
+    """An external trace cannot be ingested.
+
+    Base of the ingest taxonomy: :class:`IngestFormatError` for inputs
+    that violate their declared format and :class:`IngestRegistryError`
+    for problems with the ingest store itself.  All of them are
+    deterministic — the same file fails the same way every time — so
+    the whole family classifies as permanent (no retry storms).
+    """
+
+
+class IngestFormatError(IngestError):
+    """An external trace file violates its declared format.
+
+    Truncated fixed-width records, out-of-range flag bytes, malformed
+    CSV lines, non-monotonic instruction counts: the message always
+    names the offending record or line so multi-GB inputs are
+    diagnosable without a hex editor.
+    """
+
+
+class IngestRegistryError(IngestError):
+    """The ingest store registry is missing, corrupt, or inconsistent.
+
+    Covers unknown ``ext:`` workload names, a registry.json that does
+    not parse, and re-ingesting different content under an existing
+    name without ``--force`` (which would silently poison every
+    content-addressed cache key derived from that name).
+    """
+
+
 class JournalError(ReproError):
     """A run journal is missing, unreadable, or does not match the grid."""
 
@@ -150,7 +181,8 @@ class ErrorKind(Enum):
 #: will fail the same way, so retries are pointless.  Invariant
 #: violations are deterministic by construction: the simulator replays
 #: the same trace the same way every time.
-_PERMANENT_TYPES = (ConfigError, ValidationError, WorkloadError, InvariantViolation)
+_PERMANENT_TYPES = (ConfigError, ValidationError, WorkloadError,
+                    InvariantViolation, IngestError)
 
 
 def classify_error(error: BaseException) -> ErrorKind:

@@ -80,12 +80,31 @@ def short_digest(*parts: Any, length: int = 12) -> str:
     return stable_hash(*parts)[:length]
 
 
+def _ext_salt(workload: str) -> list[str]:
+    """Extra key material for ``ext:`` workloads: their content digest.
+
+    A synthetic workload's name fully determines its trace (given
+    scale/seed), but an ``ext:`` name is a mutable registry pointer —
+    re-ingesting different content under the same name with ``--force``
+    changes what the name means.  Mixing the stored digest in makes
+    every trace/sim key follow the content, so stale cached results can
+    never be replayed against new bytes.  Non-``ext:`` keys get no salt
+    and are byte-identical to before.
+    """
+    if not workload.startswith("ext:"):
+        return []
+    from repro.ingest.store import IngestStore
+
+    return [IngestStore().digest(workload)]
+
+
 def trace_key(
     workload: str, scale: float, budget_fraction: float, seed: int
 ) -> str:
     """Content key of one workload trace build."""
     return stable_hash(
-        "trace", CODE_VERSION, workload, scale, budget_fraction, seed
+        "trace", CODE_VERSION, workload, scale, budget_fraction, seed,
+        *_ext_salt(workload),
     )
 
 
@@ -93,7 +112,7 @@ def trace_filename(
     workload: str, scale: float, budget_fraction: float, seed: int
 ) -> str:
     """On-disk name for a cached trace: readable prefix + stable digest."""
-    safe = workload.replace("/", "_")
+    safe = workload.replace("/", "_").replace(":", "_")
     digest = trace_key(workload, scale, budget_fraction, seed)[:12]
     return f"{safe}-{digest}.trace"
 
@@ -119,4 +138,5 @@ def sim_key(
         budget_fraction,
         seed,
         config,
+        *_ext_salt(workload),
     )

@@ -1,0 +1,51 @@
+"""External-trace ingestion: ChampSim/CSV decoding, loop-marker
+recovery, and conversion into registered ``ext:`` workloads.
+
+The public surface:
+
+* :mod:`repro.ingest.formats` — streaming decoders (``champsim``,
+  ``csv``) with transparent ``.xz``/``.gz`` decompression;
+* :mod:`repro.ingest.recover` — heuristic BLOCK_BEGIN/END recovery
+  from PC back-edges, with observable coverage stats;
+* :mod:`repro.ingest.convert` — bounded-memory streaming conversion
+  into the internal v2 trace container;
+* :mod:`repro.ingest.store` — the content-addressed store that turns
+  an ingested trace into the workload ``ext:<name>``.
+"""
+
+from repro.ingest.convert import (
+    IngestResult,
+    StreamingTraceWriter,
+    ingest_trace,
+    trace_digest,
+)
+from repro.ingest.formats import FORMATS, Instr, decode, detect_format
+from repro.ingest.recover import RecoveryConfig, RecoveryStats, recover_blocks
+from repro.ingest.store import (
+    EXT_PREFIX,
+    IngestRecord,
+    IngestStore,
+    default_store_root,
+    is_ext_workload,
+    truncate_to_accesses,
+)
+
+__all__ = [
+    "EXT_PREFIX",
+    "FORMATS",
+    "IngestRecord",
+    "IngestResult",
+    "IngestStore",
+    "Instr",
+    "RecoveryConfig",
+    "RecoveryStats",
+    "StreamingTraceWriter",
+    "decode",
+    "default_store_root",
+    "detect_format",
+    "ingest_trace",
+    "is_ext_workload",
+    "recover_blocks",
+    "trace_digest",
+    "truncate_to_accesses",
+]

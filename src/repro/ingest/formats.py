@@ -1,0 +1,327 @@
+"""Streaming decoders for external trace formats.
+
+Two formats are understood:
+
+``champsim``
+    The ChampSim instruction trace: a headerless stream of fixed-width
+    64-byte records (the ecosystem's ``input_instr`` layout) —
+    instruction pointer, branch flags, register ids, and up to two
+    store / four load addresses per instruction.  The file length must
+    be an exact multiple of the record width; flag bytes must be 0/1
+    and ``branch_taken`` implies ``is_branch`` — anything else raises
+    :class:`~repro.common.errors.IngestFormatError` naming the record.
+
+``csv``
+    A plain-text fallback: one memory access per line,
+    ``pc,address[,is_write[,icount]]`` with decimal or ``0x`` hex
+    values.  Lines starting with ``#`` and an optional ``pc,...``
+    header line are skipped.  An explicit ``icount`` column must be
+    monotonically non-decreasing; the first offending line is named in
+    the error (a non-monotonic icount would silently corrupt the MLP
+    timing model downstream).
+
+Both decoders stream: they never hold more than one chunk of the input
+in memory, so multi-GB traces decode in bounded space.  Compression is
+transparent — ``.xz`` and ``.gz`` inputs are detected by their magic
+bytes (not just the extension) and decompressed through the stdlib
+``lzma`` / ``gzip`` streaming readers.
+"""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.common.errors import IngestFormatError
+
+#: Known decoder names, in detection-priority order.
+FORMATS = ("champsim", "csv")
+
+#: The ChampSim ``input_instr`` record: ip u64, is_branch u8,
+#: branch_taken u8, destination_registers[2] u8, source_registers[4] u8,
+#: destination_memory[2] u64 (stores), source_memory[4] u64 (loads).
+_CHAMPSIM_RECORD = struct.Struct("<QBB2B4B2Q4Q")
+assert _CHAMPSIM_RECORD.size == 64
+
+#: Records decoded per chunked read (64 KiB of input at a time).
+_CHUNK_RECORDS = 1024
+
+_XZ_MAGIC = b"\xfd7zXZ\x00"
+_GZ_MAGIC = b"\x1f\x8b"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction of an external trace.
+
+    Attributes:
+        icount: committed-instruction index of this record (decoder
+            assigned for ChampSim, optionally explicit in CSV).
+        pc: instruction pointer.
+        loads: byte addresses read by the instruction (may be empty).
+        stores: byte addresses written by the instruction (may be empty).
+        is_branch: the record is a branch instruction.
+        taken: the branch was taken (the *next* record's ``pc`` is its
+            target, which is how back-edges are recovered downstream).
+    """
+
+    icount: int
+    pc: int
+    loads: tuple[int, ...] = ()
+    stores: tuple[int, ...] = ()
+    is_branch: bool = False
+    taken: bool = False
+
+    @property
+    def accesses(self) -> int:
+        """Memory accesses carried by this instruction."""
+        return len(self.loads) + len(self.stores)
+
+
+def sniff_compression(path: str | Path) -> str | None:
+    """``"xz"``, ``"gz"``, or None — decided by magic bytes, not name."""
+    with open(path, "rb") as handle:
+        head = handle.read(len(_XZ_MAGIC))
+    if head.startswith(_XZ_MAGIC):
+        return "xz"
+    if head.startswith(_GZ_MAGIC):
+        return "gz"
+    return None
+
+
+def open_stream(path: str | Path) -> BinaryIO:
+    """Open ``path`` for binary reading with transparent decompression."""
+    compression = sniff_compression(path)
+    if compression == "xz":
+        return lzma.open(path, "rb")  # type: ignore[return-value]
+    if compression == "gz":
+        return gzip.open(path, "rb")  # type: ignore[return-value]
+    return open(path, "rb")
+
+
+def detect_format(path: str | Path) -> str:
+    """Pick the decoder from the file name (compression suffixes aside).
+
+    ``*.champsimtrace[.xz|.gz]`` (and the common ``*.trace.xz`` spelling
+    ChampSim distributions use) decode as ``champsim``;
+    ``*.csv[.xz|.gz]`` as ``csv``.  Anything else must state its format
+    explicitly (``repro ingest --format ...``).
+    """
+    suffixes = [s.lower() for s in Path(path).suffixes]
+    while suffixes and suffixes[-1] in (".xz", ".gz"):
+        suffixes.pop()
+    if suffixes and suffixes[-1] in (".champsimtrace", ".champsim"):
+        return "champsim"
+    if suffixes and suffixes[-1] == ".csv":
+        return "csv"
+    raise IngestFormatError(
+        f"cannot infer the trace format of {path}: expected a "
+        ".champsimtrace or .csv file (optionally .xz/.gz compressed); "
+        "pass --format champsim|csv to override"
+    )
+
+
+def _check_flag(value: int, what: str, record: int) -> bool:
+    if value not in (0, 1):
+        raise IngestFormatError(
+            f"record {record}: {what} flag must be 0 or 1, got {value} "
+            "(not a ChampSim instruction trace, or a corrupt one)"
+        )
+    return bool(value)
+
+
+def iter_champsim(handle: BinaryIO, *, what: str = "<stream>") -> Iterator[Instr]:
+    """Decode a stream of 64-byte ChampSim records.
+
+    ``what`` names the source in error messages.  The stream is
+    validated strictly: a trailing partial record or an out-of-range
+    flag byte raises :class:`IngestFormatError` with the record index.
+    """
+    record_size = _CHAMPSIM_RECORD.size
+    unpack_from = _CHAMPSIM_RECORD.unpack_from
+    index = 0
+    pending = b""
+    while True:
+        chunk = handle.read(record_size * _CHUNK_RECORDS)
+        if not chunk:
+            break
+        if pending:
+            chunk = pending + chunk
+            pending = b""
+        usable = len(chunk) - len(chunk) % record_size
+        pending = chunk[usable:]
+        for offset in range(0, usable, record_size):
+            (ip, is_branch, taken, _d0, _d1, _s0, _s1, _s2, _s3,
+             dst0, dst1, src0, src1, src2, src3) = unpack_from(chunk, offset)
+            is_branch = _check_flag(is_branch, "is_branch", index)
+            taken = _check_flag(taken, "branch_taken", index)
+            if taken and not is_branch:
+                raise IngestFormatError(
+                    f"record {index}: branch_taken set on a non-branch "
+                    f"instruction in {what}"
+                )
+            loads = tuple(a for a in (src0, src1, src2, src3) if a)
+            stores = tuple(a for a in (dst0, dst1) if a)
+            yield Instr(index, ip, loads, stores, is_branch, taken)
+            index += 1
+    if pending:
+        raise IngestFormatError(
+            f"{what} is truncated: {len(pending)} trailing byte(s) after "
+            f"record {index - 1} (records are exactly {record_size} bytes)"
+        )
+    if index == 0:
+        raise IngestFormatError(f"{what} contains no records")
+
+
+def _parse_int(text: str, what: str, line: int) -> int:
+    try:
+        value = int(text.strip(), 0)
+    except ValueError:
+        raise IngestFormatError(
+            f"line {line}: {what} {text.strip()!r} is not a decimal or "
+            "0x-hex integer"
+        ) from None
+    if value < 0:
+        raise IngestFormatError(f"line {line}: {what} must be non-negative")
+    return value
+
+
+def iter_csv(handle: BinaryIO, *, what: str = "<stream>") -> Iterator[Instr]:
+    """Decode the ``pc,address[,is_write[,icount]]`` fallback format.
+
+    Each data line becomes one single-access instruction.  Without an
+    explicit ``icount`` column, icount is the access index.  With one,
+    monotonicity is enforced: the first decreasing line is rejected by
+    index so the timing model never sees time running backwards.
+    """
+    index = 0
+    last_icount = 0
+    saw_data = False
+    for line_number, raw in enumerate(handle, start=1):
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise IngestFormatError(
+                f"line {line_number}: {what} is not UTF-8 text "
+                "(is this really a CSV trace?)"
+            ) from None
+        text = text.strip()
+        if not text or text.startswith("#"):
+            continue
+        if not saw_data and text.lower().startswith("pc"):
+            continue  # optional header line
+        parts = text.split(",")
+        if not 2 <= len(parts) <= 4:
+            raise IngestFormatError(
+                f"line {line_number}: expected pc,address[,is_write"
+                f"[,icount]], got {len(parts)} field(s) in {what}"
+            )
+        pc = _parse_int(parts[0], "pc", line_number)
+        address = _parse_int(parts[1], "address", line_number)
+        if address == 0:
+            raise IngestFormatError(
+                f"line {line_number}: address 0 is reserved (a null "
+                "access marks an unused slot)"
+            )
+        is_write = False
+        if len(parts) >= 3:
+            flag = _parse_int(parts[2], "is_write", line_number)
+            if flag not in (0, 1):
+                raise IngestFormatError(
+                    f"line {line_number}: is_write must be 0 or 1, "
+                    f"got {flag}"
+                )
+            is_write = bool(flag)
+        if len(parts) == 4:
+            icount = _parse_int(parts[3], "icount", line_number)
+            if icount < last_icount:
+                raise IngestFormatError(
+                    f"line {line_number} (event {index}): icount "
+                    f"decreases ({icount} < {last_icount}); a "
+                    "non-monotonic icount corrupts the MLP timing model"
+                )
+        else:
+            icount = index
+        last_icount = icount
+        saw_data = True
+        yield Instr(
+            icount, pc,
+            loads=() if is_write else (address,),
+            stores=(address,) if is_write else (),
+        )
+        index += 1
+    if not saw_data:
+        raise IngestFormatError(f"{what} contains no accesses")
+
+
+def decode(path: str | Path, fmt: str | None = None) -> Iterator[Instr]:
+    """Stream the instructions of an external trace file.
+
+    ``fmt`` overrides :func:`detect_format`.  The returned iterator
+    owns the file handle and closes it on exhaustion.
+    """
+    path = Path(path)
+    if fmt is None:
+        fmt = detect_format(path)
+    if fmt not in FORMATS:
+        raise IngestFormatError(
+            f"unknown trace format {fmt!r}; known: {', '.join(FORMATS)}"
+        )
+
+    def _generate() -> Iterator[Instr]:
+        with open_stream(path) as handle:
+            if fmt == "champsim":
+                yield from iter_champsim(handle, what=str(path))
+            else:
+                yield from iter_csv(handle, what=str(path))
+
+    return _generate()
+
+
+# -- encoders (tooling + round-trip tests) ---------------------------------
+
+
+def pack_champsim(instr: Instr) -> bytes:
+    """Encode one instruction as a 64-byte ChampSim record.
+
+    Unused memory slots encode as 0, matching the decoder's "nonzero
+    means used" convention; an instruction may carry at most 4 loads
+    and 2 stores (the record's slot count).
+    """
+    if len(instr.loads) > 4 or len(instr.stores) > 2:
+        raise IngestFormatError(
+            f"cannot encode {len(instr.loads)} load(s) / "
+            f"{len(instr.stores)} store(s) in one ChampSim record "
+            "(limits: 4 loads, 2 stores)"
+        )
+    if any(a == 0 for a in (*instr.loads, *instr.stores)):
+        raise IngestFormatError(
+            "address 0 is not encodable (zero marks an unused slot)"
+        )
+    loads = tuple(instr.loads) + (0,) * (4 - len(instr.loads))
+    stores = tuple(instr.stores) + (0,) * (2 - len(instr.stores))
+    return _CHAMPSIM_RECORD.pack(
+        instr.pc, int(instr.is_branch), int(instr.taken),
+        0, 0, 0, 0, 0, 0, *stores, *loads,
+    )
+
+
+def pack_csv(instrs: Iterable[Instr], *, explicit_icount: bool = False) -> str:
+    """Encode single-access instructions as CSV text (tests, tooling)."""
+    lines = ["pc,address,is_write" + (",icount" if explicit_icount else "")]
+    for instr in instrs:
+        if instr.accesses != 1:
+            raise IngestFormatError(
+                "CSV encodes exactly one access per line; got an "
+                f"instruction with {instr.accesses}"
+            )
+        address = instr.loads[0] if instr.loads else instr.stores[0]
+        row = f"{instr.pc:#x},{address:#x},{int(bool(instr.stores))}"
+        if explicit_icount:
+            row += f",{instr.icount}"
+        lines.append(row)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,331 @@
+"""Heuristic BLOCK_BEGIN/BLOCK_END recovery from PC back-edges.
+
+External traces carry no LLVM loop markers, but the CBWS prefetcher is
+built around them.  This pass recovers per-iteration block markers from
+the one loop signal any instruction trace does have: **back-edges** — a
+taken branch whose target does not advance the PC.  Each distinct
+``(branch_pc, target_pc)`` back-edge is one static loop; the span
+``[target_pc, branch_pc]`` is its body; every traversal of the edge is
+one completed iteration.
+
+The recovered markers mirror the synthetic annotation pass exactly:
+one balanced, non-nested ``BLOCK_BEGIN(id)`` / ``BLOCK_END(id)`` pair
+per loop iteration, with a stable block id per back-edge — so a
+recovered trace passes :meth:`repro.trace.stream.Trace.validate` and
+drives CBWS exactly like an IR-annotated one.
+
+The pass is a single streaming scan in bounded memory.  Loop state
+lives in a **decayed back-edge table**: a capacity-bounded map from
+``(branch_pc, target_pc)`` to a hotness counter that halves every
+``decay_interval`` instructions, so stale edges from earlier program
+phases age out instead of pinning the table.  Marking is conservative:
+an edge must be traversed ``min_iterations`` times before its head
+starts opening blocks, which costs the first iterations of a loop's
+first visit but never invents a loop out of a single backwards jump.
+
+Recovery is heuristic, so its quality is *observable*: every run fills
+a :class:`RecoveryStats` with marker coverage (fraction of accesses
+inside recovered blocks), block counts, and a block-size histogram —
+``repro ingest --report`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.common.errors import ConfigError, IngestFormatError
+from repro.ingest.formats import Instr
+from repro.trace.events import BlockBegin, BlockEnd, MemoryAccess, TraceEvent
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the back-edge recovery pass.
+
+    Attributes:
+        table_entries: back-edge table capacity.  When full, the
+            coldest edge (smallest counter, oldest traversal) is
+            evicted; an evicted edge re-entering later gets a fresh
+            block id.
+        min_iterations: traversals of an edge before its head starts
+            opening blocks.  1 marks from the second iteration on;
+            the default 2 additionally survives one stray backwards
+            jump without minting a block.
+        decay_interval: instructions between halvings of every
+            hotness counter (the decay that lets dead loops age out).
+        infer_backedges: treat *any* non-advancing PC transition as a
+            back-edge instead of requiring an explicit taken-branch
+            record.  This is the CSV fallback mode, where the input
+            has no branch information at all.
+    """
+
+    table_entries: int = 4096
+    min_iterations: int = 2
+    decay_interval: int = 1 << 17
+    infer_backedges: bool = False
+
+    def __post_init__(self) -> None:
+        if self.table_entries <= 0:
+            raise ConfigError("recovery: table_entries must be positive")
+        if self.min_iterations <= 0:
+            raise ConfigError("recovery: min_iterations must be positive")
+        if self.decay_interval <= 0:
+            raise ConfigError("recovery: decay_interval must be positive")
+
+
+class _Edge:
+    """One resident back-edge: identity, hotness, and its block id."""
+
+    __slots__ = ("branch_pc", "target_pc", "block_id", "count", "last_seen")
+
+    def __init__(self, branch_pc: int, target_pc: int, block_id: int) -> None:
+        self.branch_pc = branch_pc
+        self.target_pc = target_pc
+        self.block_id = block_id
+        self.count = 0
+        self.last_seen = 0
+
+
+class BackEdgeTable:
+    """Bounded, decayed map of observed back-edges.
+
+    Determinism matters more than cleverness here: eviction picks the
+    minimum ``(count, last_seen, block_id)`` tuple and decay halves
+    every counter at fixed instruction boundaries, so two ingestions of
+    the same trace always assign identical block ids — the property the
+    re-ingestion digest-stability test pins.
+    """
+
+    def __init__(self, config: RecoveryConfig) -> None:
+        self._config = config
+        self._edges: dict[tuple[int, int], _Edge] = {}
+        self._heads: dict[int, list[_Edge]] = {}
+        self._next_block_id = 1
+        self._decay_epoch = 0
+        self.edges_observed = 0
+        self.edges_evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def observe(self, branch_pc: int, target_pc: int, icount: int) -> _Edge:
+        """Record one traversal of a back-edge, creating it if new."""
+        key = (branch_pc, target_pc)
+        edge = self._edges.get(key)
+        if edge is None:
+            if len(self._edges) >= self._config.table_entries:
+                self._evict_coldest()
+            edge = _Edge(branch_pc, target_pc, self._next_block_id)
+            self._next_block_id += 1
+            self._edges[key] = edge
+            self._heads.setdefault(target_pc, []).append(edge)
+            self.edges_observed += 1
+        edge.count += 1
+        edge.last_seen = icount
+        return edge
+
+    def hottest_at_head(self, pc: int) -> _Edge | None:
+        """The hottest marking-eligible edge whose loop head is ``pc``."""
+        best: _Edge | None = None
+        for edge in self._heads.get(pc, ()):
+            if edge.count < self._config.min_iterations:
+                continue
+            if best is None or (edge.count, -edge.block_id) > (
+                    best.count, -best.block_id):
+                best = edge
+        return best
+
+    def maybe_decay(self, icount: int) -> None:
+        """Halve every counter when ``icount`` crosses a decay boundary."""
+        epoch = icount // self._config.decay_interval
+        if epoch == self._decay_epoch:
+            return
+        halvings = epoch - self._decay_epoch
+        self._decay_epoch = epoch
+        dead = []
+        for key, edge in self._edges.items():
+            edge.count >>= halvings
+            if edge.count == 0:
+                dead.append(key)
+        for key in dead:
+            self._drop(key)
+
+    def _drop(self, key: tuple[int, int]) -> None:
+        edge = self._edges.pop(key)
+        peers = self._heads[edge.target_pc]
+        peers.remove(edge)
+        if not peers:
+            del self._heads[edge.target_pc]
+
+    def _evict_coldest(self) -> None:
+        key = min(
+            self._edges,
+            key=lambda k: (self._edges[k].count, self._edges[k].last_seen,
+                           self._edges[k].block_id),
+        )
+        self._drop(key)
+        self.edges_evicted += 1
+
+
+@dataclass
+class RecoveryStats:
+    """Observable quality of one recovery pass (``--report``).
+
+    ``coverage`` is the headline number: the fraction of memory
+    accesses that landed inside recovered blocks.  On a trace whose
+    loops dominate, low coverage means the heuristic missed them.
+    """
+
+    records: int = 0
+    instructions: int = 0
+    accesses: int = 0
+    accesses_in_blocks: int = 0
+    block_instances: int = 0
+    block_ids: int = 0
+    back_edges_taken: int = 0
+    edges_observed: int = 0
+    edges_evicted: int = 0
+    #: Histogram of accesses-per-block-instance, keyed by the power-of-2
+    #: bucket floor (0, 1, 2, 4, 8, ...).
+    size_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of memory accesses inside recovered blocks."""
+        if self.accesses == 0:
+            return 0.0
+        return self.accesses_in_blocks / self.accesses
+
+    def record_instance(self, accesses: int) -> None:
+        """Fold one completed block instance into the histogram."""
+        self.block_instances += 1
+        bucket = 0
+        if accesses > 0:
+            bucket = 1 << (accesses.bit_length() - 1)
+        self.size_histogram[bucket] = self.size_histogram.get(bucket, 0) + 1
+
+    def render(self) -> str:
+        """The ``--report`` text: coverage first, then the shape."""
+        lines = [
+            "marker recovery report",
+            f"  records:            {self.records}",
+            f"  instructions:       {self.instructions}",
+            f"  memory accesses:    {self.accesses}",
+            f"  in-block accesses:  {self.accesses_in_blocks} "
+            f"({self.coverage:.1%} coverage)",
+            f"  block instances:    {self.block_instances} "
+            f"({self.block_ids} static block(s))",
+            f"  back-edges taken:   {self.back_edges_taken} "
+            f"({self.edges_observed} distinct, "
+            f"{self.edges_evicted} evicted)",
+        ]
+        if self.size_histogram:
+            lines.append("  accesses per block instance:")
+            for bucket in sorted(self.size_histogram):
+                count = self.size_histogram[bucket]
+                label = f"{bucket}" if bucket else "0"
+                lines.append(f"    >= {label:>6}: {count}")
+        return "\n".join(lines)
+
+
+def recover_blocks(
+    instrs: Iterable[Instr],
+    config: RecoveryConfig | None = None,
+    stats: RecoveryStats | None = None,
+) -> Iterator[TraceEvent]:
+    """Stream trace events with recovered block markers.
+
+    Yields :class:`MemoryAccess` events for every load/store in the
+    input plus balanced, non-nested ``BLOCK_BEGIN`` / ``BLOCK_END``
+    pairs around recovered loop iterations.  ``stats`` (if given) is
+    filled in as a side effect and is complete once the iterator is
+    exhausted.
+
+    The state machine, per instruction:
+
+    1. the previous instruction's taken back-edge (if any) is recorded
+       in the table and closes the open block — an iteration boundary;
+    2. leaving the open block's PC span ``[head, tail]`` closes it —
+       the loop exited some other way;
+    3. with no block open, arriving at the head PC of a
+       marking-eligible edge opens a new iteration;
+    4. the instruction's loads and stores are emitted (so a loop head's
+       own accesses land inside its block).
+
+    Input icounts must be monotonically non-decreasing; the first
+    offending record is rejected by index.
+    """
+    config = config or RecoveryConfig()
+    stats = stats if stats is not None else RecoveryStats()
+    table = BackEdgeTable(config)
+
+    prev: Instr | None = None
+    open_edge: _Edge | None = None
+    open_accesses = 0
+    block_ids_emitted: set[int] = set()
+    last_icount = 0
+
+    for instr in instrs:
+        if instr.icount < last_icount:
+            raise IngestFormatError(
+                f"record {stats.records}: icount decreases "
+                f"({instr.icount} < {last_icount}); a non-monotonic "
+                "icount corrupts the MLP timing model"
+            )
+        last_icount = instr.icount
+        stats.records += 1
+        table.maybe_decay(instr.icount)
+
+        if prev is not None:
+            if config.infer_backedges:
+                is_back = instr.pc <= prev.pc
+            else:
+                is_back = prev.is_branch and prev.taken and instr.pc <= prev.pc
+            if is_back:
+                stats.back_edges_taken += 1
+                table.observe(prev.pc, instr.pc, prev.icount)
+                if open_edge is not None:
+                    # Any back-edge is an iteration boundary: either our
+                    # own loop wrapping around, or an inner/sibling loop
+                    # taking over (blocks never nest).
+                    yield BlockEnd(prev.icount, open_edge.block_id)
+                    stats.record_instance(open_accesses)
+                    open_edge = None
+
+        if open_edge is not None and not (
+                open_edge.target_pc <= instr.pc <= open_edge.branch_pc):
+            # Control left the loop body without its back-edge (break,
+            # call to distant code): close at the last in-span point.
+            yield BlockEnd(prev.icount if prev is not None else instr.icount,
+                           open_edge.block_id)
+            stats.record_instance(open_accesses)
+            open_edge = None
+
+        if open_edge is None:
+            candidate = table.hottest_at_head(instr.pc)
+            if candidate is not None:
+                yield BlockBegin(instr.icount, candidate.block_id)
+                block_ids_emitted.add(candidate.block_id)
+                open_edge = candidate
+                open_accesses = 0
+
+        for address in instr.loads:
+            yield MemoryAccess(instr.icount, instr.pc, address, False)
+        for address in instr.stores:
+            yield MemoryAccess(instr.icount, instr.pc, address, True)
+        emitted = instr.accesses
+        stats.accesses += emitted
+        if open_edge is not None:
+            stats.accesses_in_blocks += emitted
+            open_accesses += emitted
+        prev = instr
+
+    if open_edge is not None:
+        yield BlockEnd(last_icount, open_edge.block_id)
+        stats.record_instance(open_accesses)
+
+    stats.instructions = last_icount + 1 if stats.records else 0
+    stats.block_ids = len(block_ids_emitted)
+    stats.edges_observed = table.edges_observed
+    stats.edges_evicted = table.edges_evicted

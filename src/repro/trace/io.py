@@ -8,6 +8,11 @@ The format is a small custom container:
 ``records`` — one tag byte per event followed by the event payload.
               Memory accesses store the icount *delta* from the previous
               event as a u32, which keeps files compact for long traces.
+              Deltas are unsigned, so a stored trace cannot even encode a
+              non-monotonic icount; inputs that carry absolute icounts
+              (external traces) are validated at their decode boundary in
+              :mod:`repro.ingest` instead, and the writers here reject a
+              decreasing icount by event index before it reaches disk.
 
 Round-tripping is exact: ``read_trace(path)`` returns a trace equal to the
 one passed to ``write_trace``.
@@ -70,10 +75,13 @@ def write_trace(trace: Trace, path: str | Path) -> None:
 def _pack_records(trace: Trace) -> bytes:
     buffer = io.BytesIO()
     last_icount = 0
-    for event in trace.events:
+    for index, event in enumerate(trace.events):
         delta = event.icount - last_icount
         if delta < 0:
-            raise TraceError("cannot serialize a trace with decreasing icount")
+            raise TraceError(
+                f"event {index}: icount decreases ({event.icount} < "
+                f"{last_icount}); cannot serialize a non-monotonic trace"
+            )
         last_icount = event.icount
         if event.kind == MEMORY_ACCESS:
             buffer.write(
@@ -107,9 +115,23 @@ def _write(trace: Trace, handle: BinaryIO) -> None:
 
 
 def read_trace(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`write_trace`."""
+    """Read a trace previously written by :func:`write_trace`.
+
+    Every failure mode — truncated header, short name field, bad
+    checksum, garbage bytes that leak a ``struct.error`` — surfaces as
+    :class:`TraceError` with the file path in the message, so a corrupt
+    cache entry is diagnosable from the error alone.
+    """
     with obs.phase("trace.read"), open(path, "rb") as handle:
-        trace = _read(handle)
+        try:
+            trace = _read(handle)
+        except TraceError as error:
+            raise TraceError(f"{path}: {error}") from None
+        except (struct.error, UnicodeDecodeError) as error:
+            # Defensive: garbage length fields can, in principle, drive
+            # the decoder into a raw unpack/decode failure; fold it into
+            # the typed taxonomy instead of leaking an opaque error.
+            raise TraceError(f"{path}: corrupt trace file ({error})") from error
     obs.add("trace.read.events", len(trace.events))
     return trace
 
@@ -123,7 +145,16 @@ def _read(handle: BinaryIO) -> Trace:
         raise TraceError(f"bad magic {magic!r}; not a CBWS trace file")
     if version not in (1, *_CHECKSUM_VERSIONS):
         raise TraceError(f"unsupported trace version {version}")
-    name = handle.read(name_length).decode("utf-8")
+    name_bytes = handle.read(name_length)
+    if len(name_bytes) < name_length:
+        raise TraceError(
+            f"truncated trace header: name field declares {name_length} "
+            f"byte(s), file has {len(name_bytes)}"
+        )
+    try:
+        name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise TraceError(f"trace name field is not UTF-8 ({error})") from None
     counts = handle.read(_COUNTS.size)
     if len(counts) < _COUNTS.size:
         raise TraceError("truncated trace counts")

@@ -59,7 +59,23 @@ def build_trace(
     ``backend`` selects the execution engine: ``"compiled"`` (the
     lowering backend, default) or ``"interp"`` (the reference tree
     walker).  Both produce identical traces.
+
+    ``ext:`` workloads short-circuit the pipeline: their trace was
+    fixed at ingest time, so this loads it from the ingest store
+    (truncated to the access budget) — ``seed`` and ``backend`` have
+    no effect on externally recorded content.
     """
+    if spec.group == "ext":
+        from repro.ingest.store import IngestStore
+
+        with obs.phase("trace.load.ext"):
+            budget = max_accesses if max_accesses is not None else int(
+                spec.default_accesses * scale
+            )
+            trace = IngestStore().load_trace(spec.name, max_accesses=budget)
+            trace.validate()
+            obs.add("trace.load.ext.events", len(trace.events))
+        return trace
     with obs.phase("trace.build"):
         kernel = spec.kernel(scale)
         annotate_tight_loops(kernel)
@@ -85,7 +101,16 @@ def build_trace(
 
 
 def get_workload(name: str) -> WorkloadSpec:
-    """Look up a workload by its paper name."""
+    """Look up a workload by its paper name.
+
+    Names in the ``ext:`` namespace resolve through the ingest store
+    instead of the synthetic registry: the spec is fabricated from the
+    stored trace's registry row (its access count becomes the default
+    budget), so ingested traces flow through the harness, exec grid,
+    serve broker, and campaigns exactly like synthetic kernels.
+    """
+    if name.startswith("ext:"):
+        return _ext_workload(name)
     from repro.workloads.registry import REGISTRY
 
     try:
@@ -93,3 +118,32 @@ def get_workload(name: str) -> WorkloadSpec:
     except KeyError:
         known = ", ".join(sorted(REGISTRY))
         raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def _ext_workload(name: str) -> WorkloadSpec:
+    from repro.common.errors import IngestRegistryError
+    from repro.ingest.store import IngestStore
+
+    try:
+        record = IngestStore().get(name)
+    except IngestRegistryError as error:
+        raise WorkloadError(str(error)) from error
+
+    def _no_kernel(scale: float) -> Kernel:
+        raise WorkloadError(
+            f"{name}: external traces have no kernel; the trace was "
+            "fixed at ingest time"
+        )
+
+    return WorkloadSpec(
+        name=record.workload,
+        suite="external",
+        group="ext",
+        description=(
+            f"ingested {record.format} trace "
+            f"({record.accesses} accesses, "
+            f"{record.coverage:.0%} marker coverage)"
+        ),
+        build=_no_kernel,
+        default_accesses=record.accesses,
+    )

@@ -133,3 +133,45 @@ class TestErrorPaths:
         data[-3] ^= 0x40  # flip one bit inside the record section
         with pytest.raises(TraceError, match="checksum"):
             trace_from_bytes(bytes(data))
+
+
+class TestErrorContext:
+    """Corrupt files must produce diagnosable, path-carrying errors."""
+
+    def test_read_trace_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"CB")
+        with pytest.raises(TraceError, match="truncated trace header") as info:
+            read_trace(path)
+        assert str(path) in str(info.value)
+
+    def test_garbage_bytes_become_typed_error_with_path(self, tmp_path):
+        path = tmp_path / "garbage.trace"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(TraceError) as info:
+            read_trace(path)
+        assert str(path) in str(info.value)
+
+    def test_short_name_field_is_diagnosed_not_opaque(self):
+        # A header that declares an 8-byte name but truncates after 3
+        # used to surface as a bare struct.error from the counts read.
+        data = trace_to_bytes(simple_trace())
+        truncated = data[: 8 + 3]
+        with pytest.raises(TraceError, match="name field declares"):
+            trace_from_bytes(truncated)
+
+    def test_non_utf8_name_field_is_typed(self):
+        data = bytearray(trace_to_bytes(simple_trace()))
+        data[8] = 0xFF  # clobber first byte of the name "example"
+        with pytest.raises(TraceError, match="not UTF-8"):
+            trace_from_bytes(bytes(data))
+
+    def test_non_monotonic_icount_rejected_at_write_by_index(self):
+        trace = Trace(
+            "t",
+            [MemoryAccess(5, 0x10, 4096, False),
+             MemoryAccess(2, 0x10, 8192, False)],
+            instructions=6,
+        )
+        with pytest.raises(TraceError, match="event 1"):
+            trace_to_bytes(trace)

@@ -43,6 +43,8 @@ PACKAGES: list[tuple[str, str]] = [
     ("serve", "simulation-as-a-service HTTP API"),
     ("cluster", "supervised serve shards with failover"),
     ("campaign", "journaled, resumable parameter sweeps"),
+    ("ingest", "external-trace frontend: ChampSim/CSV decoding, "
+               "loop-marker recovery, the ext: workload store"),
 ]
 
 

@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Generate the frozen ChampSim-format ingest fixture.
+
+Synthesizes a small ChampSim instruction trace from existing IR kernel
+traces, so the fixture has a *known ground-truth loop structure* to
+score the back-edge recovery heuristic against:
+
+* each IR code block becomes a code region (``0x40_0000`` + 64 KiB per
+  static block) with a head-marker instruction at the region base, one
+  stable instruction pointer per static load/store, and a conditional
+  branch at the region tail that is taken exactly when the IR trace
+  begins another iteration of the same block — a textbook back-edge;
+* IR accesses outside blocks, plus a deterministic straight-line tail
+  segment, map to a disjoint region (``0x100_0000``) with no branch
+  records at all — ground-truth *non*-loop content that recovery must
+  not mark.
+
+Alongside the raw file the script writes an ``.xz`` copy (the two must
+ingest to the same digest) and a ``.truth.json`` sidecar holding the
+per-access in-loop ground truth (run-length encoded), the expected
+post-recovery content digest, and the recovery coverage measured
+against the ground truth.  Tier-1 tests replay the fixture and pin all
+three, so any drift in decoders, recovery, or serialization fails
+loudly.
+
+Deterministic by construction: IR traces are seeded, instruction
+pointers are assigned in first-seen order, and xz compression uses a
+fixed preset.  Regenerate with::
+
+    PYTHONPATH=src python tools/make_fixture_trace.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import lzma
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ingest.convert import ingest_trace  # noqa: E402
+from repro.ingest.formats import Instr, pack_champsim  # noqa: E402
+from repro.trace.events import (  # noqa: E402
+    BLOCK_BEGIN,
+    BLOCK_END,
+    MEMORY_ACCESS,
+)
+from repro.workloads import build_trace, get_workload  # noqa: E402
+
+#: Code region of the first synthetic loop; one 64 KiB region per block.
+LOOP_REGION_BASE = 0x40_0000
+LOOP_REGION_SIZE = 0x1_0000
+#: Offset of the back-edge branch inside its region (the span tail).
+BRANCH_OFFSET = 0xFFF0
+#: Region of straight-line (non-loop) code.
+STRAIGHT_REGION_BASE = 0x100_0000
+
+DEFAULT_WORKLOADS = ("nw", "stencil-default")
+DEFAULT_ACCESSES_PER_WORKLOAD = 700
+DEFAULT_TAIL_ACCESSES = 64
+
+
+def _instrs_from_ir(workloads: list[str], accesses_per: int,
+                    tail: int) -> tuple[list[Instr], list[bool]]:
+    """Map IR traces to ChampSim instructions + per-access loop truth."""
+    instrs: list[Instr] = []
+    truth: list[bool] = []
+    region_of: dict[tuple[str, int], int] = {}
+    straight_slots: dict[tuple[str, int], int] = {}
+
+    def region_base(workload: str, block_id: int) -> int:
+        key = (workload, block_id)
+        if key not in region_of:
+            region_of[key] = LOOP_REGION_BASE + len(region_of) * LOOP_REGION_SIZE
+        return region_of[key]
+
+    def straight_ip(workload: str, pc: int) -> int:
+        key = (workload, pc)
+        if key not in straight_slots:
+            straight_slots[key] = len(straight_slots)
+        return STRAIGHT_REGION_BASE + straight_slots[key] * 0x10
+
+    for workload in workloads:
+        trace = build_trace(get_workload(workload), max_accesses=accesses_per)
+        events = trace.events
+        open_block: int | None = None
+        slot_of: dict[int, int] = {}
+        for position, event in enumerate(events):
+            if event.kind == BLOCK_BEGIN:
+                open_block = event.block_id
+                slot_of = {}
+                instrs.append(Instr(0, region_base(workload, open_block)))
+            elif event.kind == BLOCK_END:
+                base = region_base(workload, event.block_id)
+                following = events[position + 1] if position + 1 < len(events) else None
+                taken = (following is not None
+                         and following.kind == BLOCK_BEGIN
+                         and following.block_id == event.block_id)
+                instrs.append(Instr(0, base + BRANCH_OFFSET,
+                                    is_branch=True, taken=taken))
+                open_block = None
+            elif event.kind == MEMORY_ACCESS:
+                if open_block is not None:
+                    if event.pc not in slot_of:
+                        slot_of[event.pc] = len(slot_of)
+                    ip = (region_base(workload, open_block)
+                          + 0x10 + slot_of[event.pc] * 0x10)
+                    truth.append(True)
+                else:
+                    ip = straight_ip(workload, event.pc)
+                    truth.append(False)
+                address = (event.address,)
+                instrs.append(Instr(
+                    0, ip,
+                    loads=() if event.is_write else address,
+                    stores=address if event.is_write else (),
+                ))
+
+    # Straight-line tail: strictly ascending ips, no branches — recovery
+    # must leave every one of these accesses unmarked.
+    for index in range(tail):
+        instrs.append(Instr(
+            0, STRAIGHT_REGION_BASE + 0x8_0000 + index * 0x10,
+            loads=(0x200_0000 + index * 64,),
+        ))
+        truth.append(False)
+    return instrs, truth
+
+
+def _measure(path: Path, truth: list[bool]) -> dict:
+    """Ingest the fixture once and score recovery against ground truth."""
+    with tempfile.TemporaryDirectory() as scratch:
+        result = ingest_trace(path, Path(scratch) / "fixture.trace",
+                              trace_name="ext:fixture")
+        from repro.trace.io import read_trace
+
+        recovered = read_trace(Path(scratch) / "fixture.trace")
+    marked: list[bool] = []
+    inside = False
+    for event in recovered.events:
+        if event.kind == BLOCK_BEGIN:
+            inside = True
+        elif event.kind == BLOCK_END:
+            inside = False
+        else:
+            marked.append(inside)
+    assert len(marked) == len(truth), (len(marked), len(truth))
+    in_loop = sum(truth)
+    covered = sum(1 for t, m in zip(truth, marked) if t and m)
+    false_marked = sum(1 for t, m in zip(truth, marked) if not t and m)
+    return {
+        "expected_digest": result.digest,
+        "records": result.stats.records,
+        "events": result.events,
+        "instructions": result.instructions,
+        "accesses": len(truth),
+        "in_loop_accesses": in_loop,
+        "covered_in_loop_accesses": covered,
+        "false_marked_accesses": false_marked,
+        "coverage_vs_truth": covered / in_loop if in_loop else 0.0,
+        "reported_coverage": result.stats.coverage,
+    }
+
+
+def _rle(values: list[bool]) -> list[list[int]]:
+    """Run-length encode a boolean list as [value(0/1), count] pairs."""
+    runs: list[list[int]] = []
+    for value in values:
+        flag = int(value)
+        if runs and runs[-1][0] == flag:
+            runs[-1][1] += 1
+        else:
+            runs.append([flag, 1])
+    return runs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="tests/fixtures/ingest/fixture.champsimtrace",
+        help="raw fixture path (.xz copy and .truth.json written beside it)")
+    parser.add_argument(
+        "--workloads", default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated IR workloads to derive loops from")
+    parser.add_argument(
+        "--accesses-per-workload", type=int,
+        default=DEFAULT_ACCESSES_PER_WORKLOAD)
+    parser.add_argument(
+        "--tail-accesses", type=int, default=DEFAULT_TAIL_ACCESSES,
+        help="straight-line (ground-truth non-loop) accesses appended")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    workloads = [w for w in args.workloads.split(",") if w]
+    instrs, truth = _instrs_from_ir(
+        workloads, args.accesses_per_workload, args.tail_accesses)
+
+    raw = b"".join(pack_champsim(instr) for instr in instrs)
+    out.write_bytes(raw)
+    compressed = out.with_name(out.name + ".xz")
+    compressed.write_bytes(lzma.compress(raw, preset=6))
+
+    measured = _measure(out, truth)
+    sidecar = {
+        "generator": "tools/make_fixture_trace.py",
+        "workloads": workloads,
+        "accesses_per_workload": args.accesses_per_workload,
+        "tail_accesses": args.tail_accesses,
+        "in_loop_runs": _rle(truth),
+        **measured,
+    }
+    truth_path = out.with_name(out.name + ".truth.json")
+    truth_path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {out} ({len(instrs)} records, {len(raw)} bytes)")
+    print(f"wrote {compressed} ({compressed.stat().st_size} bytes)")
+    print(f"wrote {truth_path}")
+    print(f"  digest:            {measured['expected_digest'][:12]}")
+    print(f"  in-loop accesses:  {measured['in_loop_accesses']}"
+          f"/{measured['accesses']}")
+    print(f"  coverage vs truth: {measured['coverage_vs_truth']:.1%} "
+          f"(false marks: {measured['false_marked_accesses']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
